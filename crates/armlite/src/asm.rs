@@ -1,0 +1,695 @@
+//! A small text assembler for the A64 subset.
+//!
+//! One instruction per line; `//` and `;` start comments; `label:` defines
+//! a label; branch operands may be labels or immediate word offsets.
+//!
+//! ```rust
+//! use voltboot_armlite::asm::assemble;
+//! let p = assemble(r#"
+//!     movz x0, #4
+//! loop:
+//!     sub  x0, x0, #1
+//!     cbnz x0, loop
+//!     hlt  #0
+//! "#).unwrap();
+//! assert_eq!(p.len(), 4);
+//! ```
+
+use crate::insn::{Cond, Instr, Reg, VReg};
+use crate::program::Program;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for unknown
+/// mnemonics, malformed operands, undefined labels, or out-of-range
+/// immediates.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    let mut labels: HashMap<String, i64> = HashMap::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find("//") {
+            text = &text[..pos];
+        }
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(AsmError { line: line_no, message: format!("bad label {label:?}") });
+            }
+            if labels.insert(label.to_string(), statements.len() as i64).is_some() {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("duplicate label {label:?}"),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if !text.is_empty() {
+            statements.push((line_no, text.to_string()));
+        }
+    }
+
+    // Pass 2: parse each statement.
+    let mut instrs = Vec::with_capacity(statements.len());
+    for (word_index, (line, text)) in statements.iter().enumerate() {
+        let instr = parse_statement(text, *line, word_index as i64, &labels)?;
+        instrs.push(instr);
+    }
+    Ok(Program::from_instrs(instrs))
+}
+
+fn parse_statement(
+    text: &str,
+    line: usize,
+    word_index: i64,
+    labels: &HashMap<String, i64>,
+) -> Result<Instr, AsmError> {
+    let err = |message: String| AsmError { line, message };
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let ops: Vec<String> = split_operands(rest);
+    let op = |i: usize| -> Result<&str, AsmError> {
+        ops.get(i).map(|s| s.as_str()).ok_or_else(|| err(format!("missing operand {i}")))
+    };
+    let nops = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("expected {n} operands, found {}", ops.len())))
+        }
+    };
+    let branch_offset = |s: &str| -> Result<i32, AsmError> {
+        if let Some(&target) = labels.get(s) {
+            Ok((target - word_index) as i32)
+        } else {
+            parse_imm(s).map(|v| v as i32).map_err(|m| err(format!("bad branch target {s:?}: {m}")))
+        }
+    };
+
+    match mnemonic.as_str() {
+        "nop" => {
+            nops(0)?;
+            Ok(Instr::Nop)
+        }
+        "ret" => {
+            nops(0)?;
+            Ok(Instr::Ret)
+        }
+        "dsb" => {
+            // `dsb sy` or bare `dsb`.
+            if !(ops.is_empty() || (ops.len() == 1 && ops[0].eq_ignore_ascii_case("sy"))) {
+                return Err(err("dsb supports only the sy option".into()));
+            }
+            Ok(Instr::DsbSy)
+        }
+        "isb" => {
+            nops(0)?;
+            Ok(Instr::Isb)
+        }
+        "hlt" => {
+            nops(1)?;
+            Ok(Instr::Hlt { imm16: parse_imm_range(op(0)?, 0, 0xFFFF).map_err(&err)? as u16 })
+        }
+        "movz" | "mov" if ops.len() >= 2 && ops[1].starts_with('#') => {
+            let (imm16, hw) = parse_mov_imm(&ops, line)?;
+            Ok(Instr::Movz { rd: parse_reg(op(0)?).map_err(&err)?, imm16, hw })
+        }
+        "movk" => {
+            let (imm16, hw) = parse_mov_imm(&ops, line)?;
+            Ok(Instr::Movk { rd: parse_reg(op(0)?).map_err(&err)?, imm16, hw })
+        }
+        "movn" => {
+            let (imm16, hw) = parse_mov_imm(&ops, line)?;
+            Ok(Instr::Movn { rd: parse_reg(op(0)?).map_err(&err)?, imm16, hw })
+        }
+        "adr" => {
+            nops(2)?;
+            let rd = parse_reg(op(0)?).map_err(&err)?;
+            // Labels resolve to word offsets; ADR offsets are in bytes.
+            let offset = branch_offset(op(1)?)? * 4;
+            Ok(Instr::Adr { rd, offset })
+        }
+        "mvn" => {
+            nops(2)?;
+            Ok(Instr::OrnReg {
+                rd: parse_reg(op(0)?).map_err(&err)?,
+                rn: Reg::XZR,
+                rm: parse_reg(op(1)?).map_err(&err)?,
+            })
+        }
+        "tst" => {
+            nops(2)?;
+            Ok(Instr::AndsReg {
+                rd: Reg::XZR,
+                rn: parse_reg(op(0)?).map_err(&err)?,
+                rm: parse_reg(op(1)?).map_err(&err)?,
+            })
+        }
+        "orn" | "ands" | "udiv" | "mul" => {
+            nops(3)?;
+            let rd = parse_reg(op(0)?).map_err(&err)?;
+            let rn = parse_reg(op(1)?).map_err(&err)?;
+            let rm = parse_reg(op(2)?).map_err(&err)?;
+            Ok(match mnemonic.as_str() {
+                "orn" => Instr::OrnReg { rd, rn, rm },
+                "ands" => Instr::AndsReg { rd, rn, rm },
+                "udiv" => Instr::Udiv { rd, rn, rm },
+                _ => Instr::Madd { rd, rn, rm, ra: Reg::XZR },
+            })
+        }
+        "madd" => {
+            nops(4)?;
+            Ok(Instr::Madd {
+                rd: parse_reg(op(0)?).map_err(&err)?,
+                rn: parse_reg(op(1)?).map_err(&err)?,
+                rm: parse_reg(op(2)?).map_err(&err)?,
+                ra: parse_reg(op(3)?).map_err(&err)?,
+            })
+        }
+        "csel" | "csinc" => {
+            nops(4)?;
+            let rd = parse_reg(op(0)?).map_err(&err)?;
+            let rn = parse_reg(op(1)?).map_err(&err)?;
+            let rm = parse_reg(op(2)?).map_err(&err)?;
+            let cond = parse_cond(&op(3)?.to_ascii_lowercase())
+                .ok_or_else(|| err(format!("unknown condition {:?}", ops[3])))?;
+            Ok(if mnemonic == "csel" {
+                Instr::Csel { rd, rn, rm, cond }
+            } else {
+                Instr::Csinc { rd, rn, rm, cond }
+            })
+        }
+        "ldp" | "stp" => {
+            let rt1 = parse_reg(op(0)?).map_err(&err)?;
+            let rt2 = parse_reg(op(1)?).map_err(&err)?;
+            let (rn, offset) = parse_mem_operand(&ops[2..]).map_err(&err)?;
+            let offset = offset as i32;
+            if offset % 8 != 0 || offset > 504 {
+                return Err(err(format!("ldp/stp offset {offset} must be 8-aligned, <= 504")));
+            }
+            Ok(if mnemonic == "ldp" {
+                Instr::Ldp { rt1, rt2, rn, offset: offset as i16 }
+            } else {
+                Instr::Stp { rt1, rt2, rn, offset: offset as i16 }
+            })
+        }
+        "tbz" | "tbnz" => {
+            nops(3)?;
+            let rt = parse_reg(op(0)?).map_err(&err)?;
+            let bit = parse_imm_range(op(1)?, 0, 63).map_err(&err)? as u8;
+            let offset = branch_offset(op(2)?)? as i16;
+            Ok(if mnemonic == "tbz" {
+                Instr::Tbz { rt, bit, offset }
+            } else {
+                Instr::Tbnz { rt, bit, offset }
+            })
+        }
+        "mov" => {
+            nops(2)?;
+            // Register move: orr xd, xzr, xm.
+            Ok(Instr::OrrReg {
+                rd: parse_reg(op(0)?).map_err(&err)?,
+                rn: Reg::XZR,
+                rm: parse_reg(op(1)?).map_err(&err)?,
+            })
+        }
+        "add" | "sub" | "subs" => {
+            nops(3)?;
+            let rd = parse_reg(op(0)?).map_err(&err)?;
+            let rn = parse_reg(op(1)?).map_err(&err)?;
+            if let Some(imm) = op(2)?.strip_prefix('#') {
+                let imm12 = parse_imm_range(&format!("#{imm}"), 0, 4095).map_err(&err)? as u16;
+                Ok(match mnemonic.as_str() {
+                    "add" => Instr::AddImm { rd, rn, imm12 },
+                    "sub" => Instr::SubImm { rd, rn, imm12 },
+                    _ => Instr::SubsImm { rd, rn, imm12 },
+                })
+            } else {
+                let rm = parse_reg(op(2)?).map_err(&err)?;
+                Ok(match mnemonic.as_str() {
+                    "add" => Instr::AddReg { rd, rn, rm },
+                    "sub" => Instr::SubReg { rd, rn, rm },
+                    _ => Instr::SubsReg { rd, rn, rm },
+                })
+            }
+        }
+        "cmp" => {
+            nops(2)?;
+            let rn = parse_reg(op(0)?).map_err(&err)?;
+            if op(1)?.starts_with('#') {
+                let imm12 = parse_imm_range(op(1)?, 0, 4095).map_err(&err)? as u16;
+                Ok(Instr::SubsImm { rd: Reg::XZR, rn, imm12 })
+            } else {
+                Ok(Instr::SubsReg { rd: Reg::XZR, rn, rm: parse_reg(op(1)?).map_err(&err)? })
+            }
+        }
+        "and" | "orr" | "eor" | "lsl" | "lsr" => {
+            nops(3)?;
+            let rd = parse_reg(op(0)?).map_err(&err)?;
+            let rn = parse_reg(op(1)?).map_err(&err)?;
+            let rm = parse_reg(op(2)?).map_err(&err)?;
+            Ok(match mnemonic.as_str() {
+                "and" => Instr::AndReg { rd, rn, rm },
+                "orr" => Instr::OrrReg { rd, rn, rm },
+                "eor" => Instr::EorReg { rd, rn, rm },
+                "lsl" => Instr::Lslv { rd, rn, rm },
+                _ => Instr::Lsrv { rd, rn, rm },
+            })
+        }
+        "ldr" | "str" | "ldrb" | "strb" => {
+            let rt = parse_reg(op(0)?).map_err(&err)?;
+            let (rn, offset) = parse_mem_operand(&ops[1..]).map_err(&err)?;
+            match mnemonic.as_str() {
+                "ldr" | "str" => {
+                    if offset % 8 != 0 || offset / 8 > 4095 {
+                        return Err(err(format!("ldr/str offset {offset} must be 8-aligned and <= 32760")));
+                    }
+                    Ok(if mnemonic == "ldr" {
+                        Instr::LdrX { rt, rn, offset: offset as u16 }
+                    } else {
+                        Instr::StrX { rt, rn, offset: offset as u16 }
+                    })
+                }
+                _ => {
+                    if offset > 4095 {
+                        return Err(err(format!("byte offset {offset} out of range")));
+                    }
+                    Ok(if mnemonic == "ldrb" {
+                        Instr::Ldrb { rt, rn, offset: offset as u16 }
+                    } else {
+                        Instr::Strb { rt, rn, offset: offset as u16 }
+                    })
+                }
+            }
+        }
+        "b" => {
+            nops(1)?;
+            Ok(Instr::B { offset: branch_offset(op(0)?)? })
+        }
+        "cbz" | "cbnz" => {
+            nops(2)?;
+            let rt = parse_reg(op(0)?).map_err(&err)?;
+            let offset = branch_offset(op(1)?)?;
+            Ok(if mnemonic == "cbz" { Instr::Cbz { rt, offset } } else { Instr::Cbnz { rt, offset } })
+        }
+        m if m.starts_with("b.") => {
+            nops(1)?;
+            let cond = parse_cond(&m[2..]).ok_or_else(|| err(format!("unknown condition {m:?}")))?;
+            Ok(Instr::BCond { cond, offset: branch_offset(op(0)?)? })
+        }
+        "dc" => {
+            nops(2)?;
+            let rt = parse_reg(op(1)?).map_err(&err)?;
+            match ops[0].to_ascii_lowercase().as_str() {
+                "zva" => Ok(Instr::DcZva { rt }),
+                "civac" => Ok(Instr::DcCivac { rt }),
+                "cvac" => Ok(Instr::DcCvac { rt }),
+                other => Err(err(format!("unsupported dc operation {other:?}"))),
+            }
+        }
+        "ic" => {
+            nops(1)?;
+            if ops[0].eq_ignore_ascii_case("iallu") {
+                Ok(Instr::IcIallu)
+            } else {
+                Err(err(format!("unsupported ic operation {:?}", ops[0])))
+            }
+        }
+        "ramindex" => {
+            nops(1)?;
+            Ok(Instr::RamIndex { rt: parse_reg(op(0)?).map_err(&err)? })
+        }
+        "mrsram" => {
+            nops(2)?;
+            let rt = parse_reg(op(0)?).map_err(&err)?;
+            let n = parse_imm_range(op(1)?, 0, 3).map_err(&err)? as u8;
+            Ok(Instr::MrsRamData { rt, n })
+        }
+        "movi" => {
+            nops(2)?;
+            let vd = parse_vreg(op(0)?).map_err(&err)?;
+            let imm8 = parse_imm_range(op(1)?, 0, 255).map_err(&err)? as u8;
+            Ok(Instr::MoviV16b { vd, imm8 })
+        }
+        "ins" => {
+            nops(2)?;
+            let (vd, idx) = parse_vlane(op(0)?).map_err(&err)?;
+            Ok(Instr::InsVD { vd, idx, rn: parse_reg(op(1)?).map_err(&err)? })
+        }
+        "umov" => {
+            nops(2)?;
+            let rd = parse_reg(op(0)?).map_err(&err)?;
+            let (vn, idx) = parse_vlane(op(1)?).map_err(&err)?;
+            Ok(Instr::UmovXD { rd, vn, idx })
+        }
+        other => Err(err(format!("unknown mnemonic {other:?}"))),
+    }
+}
+
+/// Splits operands on commas, keeping `[x1, #8]` together.
+fn split_operands(rest: &str) -> Vec<String> {
+    let mut ops = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in rest.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                let t = current.trim();
+                if !t.is_empty() {
+                    ops.push(t.to_string());
+                }
+                current.clear();
+            }
+            _ => current.push(ch),
+        }
+    }
+    let t = current.trim();
+    if !t.is_empty() {
+        ops.push(t.to_string());
+    }
+    ops
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let s = s.trim().to_ascii_lowercase();
+    if s == "xzr" || s == "wzr" {
+        return Ok(Reg::XZR);
+    }
+    let digits = s
+        .strip_prefix('x')
+        .or_else(|| s.strip_prefix('w'))
+        .ok_or_else(|| format!("expected register, found {s:?}"))?;
+    let n: u8 = digits.parse().map_err(|_| format!("bad register {s:?}"))?;
+    if n > 30 {
+        return Err(format!("register {s:?} out of range"));
+    }
+    Ok(Reg(n))
+}
+
+fn parse_vreg(s: &str) -> Result<VReg, String> {
+    let s = s.trim().to_ascii_lowercase();
+    let body = s.split('.').next().unwrap_or(&s);
+    let digits = body.strip_prefix('v').ok_or_else(|| format!("expected vector register, found {s:?}"))?;
+    let n: u8 = digits.parse().map_err(|_| format!("bad vector register {s:?}"))?;
+    if n > 31 {
+        return Err(format!("vector register {s:?} out of range"));
+    }
+    Ok(VReg(n))
+}
+
+/// Parses `v3.d[1]` into `(v3, 1)`.
+fn parse_vlane(s: &str) -> Result<(VReg, u8), String> {
+    let s = s.trim().to_ascii_lowercase();
+    let (reg_part, lane_part) =
+        s.split_once(".d[").ok_or_else(|| format!("expected v<n>.d[<idx>], found {s:?}"))?;
+    let vreg = parse_vreg(reg_part)?;
+    let idx_str = lane_part.strip_suffix(']').ok_or_else(|| format!("missing ']' in {s:?}"))?;
+    let idx: u8 = idx_str.parse().map_err(|_| format!("bad lane index in {s:?}"))?;
+    if idx > 1 {
+        return Err(format!("lane index {idx} out of range"));
+    }
+    Ok((vreg, idx))
+}
+
+fn parse_imm(s: &str) -> Result<i64, String> {
+    let s = s.trim().strip_prefix('#').unwrap_or(s.trim());
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| format!("bad immediate {s:?}"))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_imm_range(s: &str, min: i64, max: i64) -> Result<i64, String> {
+    let v = parse_imm(s)?;
+    if v < min || v > max {
+        return Err(format!("immediate {v} outside [{min}, {max}]"));
+    }
+    Ok(v)
+}
+
+/// Parses the `[xN]` / `[xN, #imm]` memory operand plus optional trailing
+/// pieces already split by commas.
+fn parse_mem_operand(ops: &[String]) -> Result<(Reg, u32), String> {
+    let joined = ops.join(",");
+    let inner = joined
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [base, #offset], found {joined:?}"))?;
+    let mut parts = inner.splitn(2, ',');
+    let base = parse_reg(parts.next().unwrap())?;
+    let offset = match parts.next() {
+        Some(imm) => parse_imm_range(imm.trim(), 0, 32760)? as u32,
+        None => 0,
+    };
+    Ok((base, offset))
+}
+
+fn parse_mov_imm(ops: &[String], line: usize) -> Result<(u16, u8), AsmError> {
+    let err = |message: String| AsmError { line, message };
+    // Accept both `rd, #imm, lsl #16` (one shift operand) and
+    // `rd, #imm, lsl, #16` (split by an over-eager comma).
+    let shift_tokens: Vec<String> = match ops.len() {
+        2 => Vec::new(),
+        3 => ops[2].split_whitespace().map(str::to_string).collect(),
+        4 => vec![ops[2].clone(), ops[3].clone()],
+        _ => return Err(err("expected rd, #imm16 [, lsl #shift]".into())),
+    };
+    let imm16 = parse_imm_range(&ops[1], 0, 0xFFFF).map_err(&err)? as u16;
+    let hw = if shift_tokens.is_empty() {
+        0
+    } else {
+        if shift_tokens.len() != 2 || !shift_tokens[0].eq_ignore_ascii_case("lsl") {
+            return Err(err(format!("expected lsl #shift, found {shift_tokens:?}")));
+        }
+        let shift = parse_imm_range(&shift_tokens[1], 0, 48).map_err(&err)?;
+        if shift % 16 != 0 {
+            return Err(err(format!("mov shift {shift} must be a multiple of 16")));
+        }
+        (shift / 16) as u8
+    };
+    Ok((imm16, hw))
+}
+
+fn parse_cond(s: &str) -> Option<Cond> {
+    Some(match s {
+        "eq" => Cond::Eq,
+        "ne" => Cond::Ne,
+        "hs" | "cs" => Cond::Hs,
+        "lo" | "cc" => Cond::Lo,
+        "mi" => Cond::Mi,
+        "pl" => Cond::Pl,
+        "vs" => Cond::Vs,
+        "vc" => Cond::Vc,
+        "hi" => Cond::Hi,
+        "ls" => Cond::Ls,
+        "ge" => Cond::Ge,
+        "lt" => Cond::Lt,
+        "gt" => Cond::Gt,
+        "le" => Cond::Le,
+        "al" => Cond::Al,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::FlatMemory;
+    use crate::cpu::{Cpu, RunExit};
+
+    fn run(src: &str) -> (Cpu, RunExit) {
+        let p = assemble(src).unwrap();
+        let mut mem = FlatMemory::new(1 << 16);
+        mem.load(0, &p.bytes());
+        let mut cpu = Cpu::new(0);
+        let exit = cpu.run(&mut mem, 100_000);
+        (cpu, exit)
+    }
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let (cpu, exit) = run(r#"
+            movz x0, #10
+            movz x1, #0
+        loop:
+            add  x1, x1, #3
+            sub  x0, x0, #1
+            cbnz x0, loop
+            hlt  #0
+        "#);
+        assert_eq!(exit, RunExit::Halted(0));
+        assert_eq!(cpu.x(1), 30);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let (cpu, _) = run(r#"
+            movz x0, #0xCAFE
+            movz x1, #0x4000
+            str  x0, [x1, #16]
+            ldr  x2, [x1, #16]
+            strb x0, [x1]
+            ldrb x3, [x1]
+            hlt  #0
+        "#);
+        assert_eq!(cpu.x(2), 0xCAFE);
+        assert_eq!(cpu.x(3), 0xFE);
+    }
+
+    #[test]
+    fn mov_register_and_immediate_forms() {
+        let (cpu, _) = run(r#"
+            movz x0, #0x1234, lsl #16
+            mov  x1, x0
+            mov  x2, #7
+            hlt  #0
+        "#);
+        assert_eq!(cpu.x(1), 0x1234_0000);
+        assert_eq!(cpu.x(2), 7);
+    }
+
+    #[test]
+    fn conditional_branch_with_cmp() {
+        let (cpu, _) = run(r#"
+            movz x0, #5
+            cmp  x0, #9
+            b.lt less
+            movz x1, #0
+            b    done
+        less:
+            movz x1, #1
+        done:
+            hlt  #0
+        "#);
+        assert_eq!(cpu.x(1), 1);
+    }
+
+    #[test]
+    fn vector_instructions() {
+        let (cpu, _) = run(r#"
+            movi v2.16b, #0xAA
+            movz x0, #0xBEEF
+            ins  v3.d[0], x0
+            umov x1, v2.d[1]
+            hlt  #0
+        "#);
+        assert_eq!(cpu.x(1), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(cpu.v(3)[0], 0xBEEF);
+    }
+
+    #[test]
+    fn barriers_and_cache_ops_parse() {
+        let p = assemble(r#"
+            ramindex x0
+            dsb sy
+            isb
+            mrsram x1, #0
+            dc zva, x2
+            dc civac, x2
+            dc cvac, x2
+            ic iallu
+            ret
+        "#).unwrap();
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(r#"
+            // leading comment
+            nop ; trailing comment
+
+            nop // another
+        "#).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("nop\nfrobnicate x0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let e = assemble("b nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("a:\nnop\na:\nnop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn out_of_range_immediates_rejected() {
+        assert!(assemble("add x0, x0, #4096\n").is_err());
+        assert!(assemble("ldr x0, [x1, #7]\n").is_err());
+        assert!(assemble("movz x0, #0x10000\n").is_err());
+    }
+
+    #[test]
+    fn backward_and_forward_labels() {
+        let (cpu, exit) = run(r#"
+            movz x0, #3
+            b skip
+            hlt #9
+        skip:
+            sub x0, x0, #1
+            cbnz x0, skip
+            hlt #0
+        "#);
+        assert_eq!(exit, RunExit::Halted(0));
+        assert_eq!(cpu.x(0), 0);
+    }
+}

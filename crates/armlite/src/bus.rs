@@ -1,0 +1,326 @@
+//! The memory bus the CPU talks to.
+//!
+//! The `soc` crate implements [`Bus`] with its caches and SRAM-backed
+//! memories; this crate ships [`FlatMemory`] for self-contained tests.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fault raised by the memory system or a system operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFault {
+    /// No device decodes this address.
+    Unmapped {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// The access was misaligned for its size.
+    Misaligned {
+        /// The faulting address.
+        addr: u64,
+        /// The access size in bytes.
+        size: u8,
+    },
+    /// The operation needs a higher exception level (e.g. `RAMINDEX`
+    /// requires EL3 — paper §5.2.4).
+    PermissionDenied {
+        /// Required exception level.
+        required_el: u8,
+    },
+    /// The access hit memory marked secure while the core is non-secure
+    /// (TrustZone enforcement — paper §8).
+    SecureViolation {
+        /// The faulting address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusFault::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            BusFault::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#x}")
+            }
+            BusFault::PermissionDenied { required_el } => {
+                write!(f, "operation requires EL{required_el}")
+            }
+            BusFault::SecureViolation { addr } => {
+                write!(f, "non-secure access to secure address {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for BusFault {}
+
+/// One `RAMINDEX` request as packed into the `Xt` operand.
+///
+/// The field layout follows the Cortex-A72 TRM's spirit: bits `[31:24]`
+/// select the internal RAM (`ramid`), `[23:18]` the way, `[17:0]` the
+/// set/index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RamIndexRequest {
+    /// Which internal RAM to read (device-defined id).
+    pub ramid: u8,
+    /// Way within the RAM.
+    pub way: u8,
+    /// Set/index within the way.
+    pub index: u32,
+}
+
+impl RamIndexRequest {
+    /// Packs the request into the register word.
+    pub fn pack(self) -> u64 {
+        ((self.ramid as u64) << 24) | (((self.way as u64) & 0x3F) << 18) | (self.index as u64 & 0x3FFFF)
+    }
+
+    /// Unpacks a register word.
+    pub fn unpack(word: u64) -> Self {
+        RamIndexRequest {
+            ramid: ((word >> 24) & 0xFF) as u8,
+            way: ((word >> 18) & 0x3F) as u8,
+            index: (word & 0x3FFFF) as u32,
+        }
+    }
+}
+
+/// The CPU's view of the memory system.
+///
+/// All data accesses are little-endian. Implementations route reads and
+/// writes through their cache hierarchy so that victim software leaves
+/// exactly the SRAM footprint a real device would.
+pub trait Bus {
+    /// Reads `size` bytes (1, 2, 4, or 8) at `addr`, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BusFault`] the memory system raises.
+    fn read(&mut self, addr: u64, size: u8) -> Result<u64, BusFault>;
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BusFault`] the memory system raises.
+    fn write(&mut self, addr: u64, size: u8, value: u64) -> Result<(), BusFault>;
+
+    /// Fetches the instruction word at `addr` (through the i-cache).
+    ///
+    /// # Errors
+    ///
+    /// Any [`BusFault`] the memory system raises.
+    fn fetch(&mut self, addr: u64) -> Result<u32, BusFault>;
+
+    /// `DC ZVA`: zeroes the whole ZVA block containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BusFault`] the memory system raises.
+    fn dc_zva(&mut self, addr: u64) -> Result<(), BusFault>;
+
+    /// `DC CIVAC`: cleans and invalidates the line containing `addr`.
+    ///
+    /// Note (paper §5.2.4): invalidation only clears the *tag* state; the
+    /// data RAM keeps its bits.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BusFault`] the memory system raises.
+    fn dc_clean_invalidate(&mut self, addr: u64) -> Result<(), BusFault>;
+
+    /// `DC CVAC`: cleans (writes back) the line containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BusFault`] the memory system raises.
+    fn dc_clean(&mut self, addr: u64) -> Result<(), BusFault>;
+
+    /// `IC IALLU`: invalidates all instruction-cache tags (data RAM keeps
+    /// its bits).
+    ///
+    /// # Errors
+    ///
+    /// Any [`BusFault`] the memory system raises.
+    fn ic_invalidate_all(&mut self) -> Result<(), BusFault>;
+
+    /// Executes a `RAMINDEX` internal-RAM read and returns the four data
+    /// output words.
+    ///
+    /// `el` is the core's current exception level; `barriers_ok` reports
+    /// whether the architecturally required `DSB SY; ISB` sequence was
+    /// executed since the request was issued.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::PermissionDenied`] below EL3, or any device-specific
+    /// fault.
+    fn ramindex(
+        &mut self,
+        el: u8,
+        req: RamIndexRequest,
+        barriers_ok: bool,
+    ) -> Result<[u64; 4], BusFault>;
+
+    /// The `DC ZVA` block size in bytes (default 64).
+    fn zva_block_size(&self) -> u64 {
+        64
+    }
+
+    /// Called when the core takes a branch from `pc` to `target`.
+    ///
+    /// Branch predictors (BTBs) snoop this to learn targets; the default
+    /// implementation ignores it.
+    fn branch_hint(&mut self, pc: u64, target: u64) {
+        let _ = (pc, target);
+    }
+}
+
+/// A flat little-endian RAM with no caches: the test double for [`Bus`].
+#[derive(Debug, Clone)]
+pub struct FlatMemory {
+    bytes: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// Creates a zeroed flat memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        FlatMemory { bytes: vec![0; size] }
+    }
+
+    /// Copies `data` in at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the copy runs past the end of memory.
+    pub fn load(&mut self, addr: u64, data: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Borrows the raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn check(&self, addr: u64, size: u8) -> Result<usize, BusFault> {
+        let a = addr as usize;
+        if a + size as usize > self.bytes.len() {
+            return Err(BusFault::Unmapped { addr });
+        }
+        if addr % size as u64 != 0 {
+            return Err(BusFault::Misaligned { addr, size });
+        }
+        Ok(a)
+    }
+}
+
+impl Bus for FlatMemory {
+    fn read(&mut self, addr: u64, size: u8) -> Result<u64, BusFault> {
+        let a = self.check(addr, size)?;
+        let mut v = 0u64;
+        for i in (0..size as usize).rev() {
+            v = (v << 8) | self.bytes[a + i] as u64;
+        }
+        Ok(v)
+    }
+
+    fn write(&mut self, addr: u64, size: u8, value: u64) -> Result<(), BusFault> {
+        let a = self.check(addr, size)?;
+        for i in 0..size as usize {
+            self.bytes[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn fetch(&mut self, addr: u64) -> Result<u32, BusFault> {
+        Ok(self.read(addr, 4)? as u32)
+    }
+
+    fn dc_zva(&mut self, addr: u64) -> Result<(), BusFault> {
+        let block = self.zva_block_size();
+        let base = addr & !(block - 1);
+        for i in 0..block {
+            let a = (base + i) as usize;
+            if a < self.bytes.len() {
+                self.bytes[a] = 0;
+            }
+        }
+        Ok(())
+    }
+
+    fn dc_clean_invalidate(&mut self, _addr: u64) -> Result<(), BusFault> {
+        Ok(())
+    }
+
+    fn dc_clean(&mut self, _addr: u64) -> Result<(), BusFault> {
+        Ok(())
+    }
+
+    fn ic_invalidate_all(&mut self) -> Result<(), BusFault> {
+        Ok(())
+    }
+
+    fn ramindex(
+        &mut self,
+        el: u8,
+        _req: RamIndexRequest,
+        _barriers_ok: bool,
+    ) -> Result<[u64; 4], BusFault> {
+        if el < 3 {
+            return Err(BusFault::PermissionDenied { required_el: 3 });
+        }
+        Ok([0; 4])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_memory_read_write_little_endian() {
+        let mut m = FlatMemory::new(64);
+        m.write(0, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read(0, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0, 1).unwrap(), 0x88);
+        assert_eq!(m.read(1, 1).unwrap(), 0x77);
+        assert_eq!(m.read(0, 4).unwrap(), 0x5566_7788);
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let mut m = FlatMemory::new(64);
+        assert_eq!(m.read(1, 8), Err(BusFault::Misaligned { addr: 1, size: 8 }));
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = FlatMemory::new(8);
+        assert_eq!(m.read(8, 4), Err(BusFault::Unmapped { addr: 8 }));
+    }
+
+    #[test]
+    fn zva_zeroes_a_block() {
+        let mut m = FlatMemory::new(256);
+        m.load(0, &[0xFF; 256]);
+        m.dc_zva(70).unwrap();
+        assert_eq!(&m.bytes()[64..128], &[0u8; 64][..]);
+        assert_eq!(m.bytes()[63], 0xFF);
+        assert_eq!(m.bytes()[128], 0xFF);
+    }
+
+    #[test]
+    fn ramindex_request_roundtrip() {
+        let req = RamIndexRequest { ramid: 0x21, way: 3, index: 0x1FF };
+        assert_eq!(RamIndexRequest::unpack(req.pack()), req);
+    }
+
+    #[test]
+    fn flat_ramindex_needs_el3() {
+        let mut m = FlatMemory::new(8);
+        let req = RamIndexRequest { ramid: 0, way: 0, index: 0 };
+        assert!(m.ramindex(1, req, true).is_err());
+        assert!(m.ramindex(3, req, true).is_ok());
+    }
+}

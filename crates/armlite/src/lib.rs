@@ -1,0 +1,51 @@
+//! A minimal aarch64-flavoured CPU model for the Volt Boot reproduction.
+//!
+//! The paper's victim and extraction software are bare-metal aarch64
+//! programs: NOP sleds that fill instruction caches, store loops that fill
+//! data caches, NEON-register fills, and the CP15 `RAMINDEX` readout
+//! sequence with its `DSB SY` / `ISB` barriers. This crate provides just
+//! enough of an ARMv8-A core to run faithful equivalents of those
+//! programs against the simulated SoC:
+//!
+//! * [`Instr`] — a ~30-instruction A64 subset whose **encodings are the
+//!   real A64 bit patterns** (a NOP in the simulated i-cache is
+//!   `0xD503201F`, exactly what the paper greps for in extracted images);
+//! * [`asm::assemble`] — a small text assembler with labels;
+//! * [`Cpu`] — an interpreter over a [`Bus`] trait that the `soc` crate
+//!   implements with its caches, so every fetch, load, and store exercises
+//!   the simulated SRAM.
+//!
+//! # Example
+//!
+//! ```rust
+//! use voltboot_armlite::{asm::assemble, Cpu, FlatMemory, RunExit};
+//!
+//! let program = assemble(r#"
+//!     movz x0, #0xAA
+//!     movz x1, #0x1000
+//!     str  x0, [x1]
+//!     ldr  x2, [x1]
+//!     hlt  #0
+//! "#).unwrap();
+//!
+//! let mut mem = FlatMemory::new(64 * 1024);
+//! mem.load(0, &program.bytes());
+//! let mut cpu = Cpu::new(0);
+//! let exit = cpu.run(&mut mem, 100);
+//! assert_eq!(exit, RunExit::Halted(0));
+//! assert_eq!(cpu.x(2), 0xAA);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod bus;
+pub mod cpu;
+pub mod insn;
+pub mod program;
+
+pub use bus::{Bus, BusFault, FlatMemory, RamIndexRequest};
+pub use cpu::{Cpu, ExceptionLevel, RunExit};
+pub use insn::{Cond, DecodeError, Instr, Reg, VReg};
+pub use program::Program;

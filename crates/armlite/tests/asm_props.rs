@@ -1,0 +1,71 @@
+//! Property tests on the assembler/disassembler pair.
+
+use proptest::prelude::*;
+use voltboot_armlite::asm::assemble;
+use voltboot_armlite::insn::{Cond, Instr, Reg, VReg};
+
+/// A strategy over non-branch instructions whose `Display` text is valid
+/// assembler input.
+fn displayable_instr() -> impl Strategy<Value = Instr> {
+    let reg = (0u8..31).prop_map(Reg);
+    let vreg = (0u8..32).prop_map(VReg);
+    let cond = (0u32..14).prop_map(|c| Cond::from_bits(c).unwrap());
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Ret),
+        Just(Instr::DsbSy),
+        Just(Instr::Isb),
+        Just(Instr::IcIallu),
+        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movz { rd, imm16, hw }),
+        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movk { rd, imm16, hw }),
+        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movn { rd, imm16, hw }),
+        (reg.clone(), reg.clone(), 0u16..4096)
+            .prop_map(|(rd, rn, imm12)| Instr::AddImm { rd, rn, imm12 }),
+        (reg.clone(), reg.clone(), 0u16..4096)
+            .prop_map(|(rd, rn, imm12)| Instr::SubImm { rd, rn, imm12 }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(rd, rn, rm)| Instr::AndReg { rd, rn, rm }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(rd, rn, rm)| Instr::EorReg { rd, rn, rm }),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(rd, rn, rm)| Instr::Udiv { rd, rn, rm }),
+        (reg.clone(), reg.clone(), reg.clone(), cond.clone())
+            .prop_map(|(rd, rn, rm, cond)| Instr::Csel { rd, rn, rm, cond }),
+        (reg.clone(), reg.clone(), reg.clone(), cond)
+            .prop_map(|(rd, rn, rm, cond)| Instr::Csinc { rd, rn, rm, cond }),
+        (reg.clone(), reg.clone(), 0u16..4096)
+            .prop_map(|(rt, rn, offset)| Instr::Ldrb { rt, rn, offset }),
+        (reg.clone(), reg.clone(), 0u16..4095)
+            .prop_map(|(rt, rn, offset)| Instr::LdrX { rt, rn, offset: offset / 8 * 8 }),
+        (reg.clone(), reg.clone(), reg.clone(), 0i16..64).prop_map(|(rt1, rt2, rn, o)| {
+            Instr::Ldp { rt1, rt2, rn, offset: o * 8 }
+        }),
+        (reg.clone(), any::<u8>()).prop_map(|(rt, _)| Instr::DcZva { rt }),
+        (vreg.clone(), any::<u8>()).prop_map(|(vd, imm8)| Instr::MoviV16b { vd, imm8 }),
+        (vreg.clone(), 0u8..2, reg.clone()).prop_map(|(vd, idx, rn)| Instr::InsVD { vd, idx, rn }),
+        (reg, vreg, 0u8..2).prop_map(|(rd, vn, idx)| Instr::UmovXD { rd, vn, idx }),
+    ]
+}
+
+proptest! {
+    /// Display → assemble is the identity on non-branch instructions.
+    #[test]
+    fn display_assemble_identity(instr in displayable_instr()) {
+        let text = instr.to_string();
+        let program = assemble(&text)
+            .map_err(|e| TestCaseError::fail(format!("{text:?}: {e}")))?;
+        prop_assert_eq!(program.instrs(), &[instr], "text was {}", text);
+    }
+
+    /// Encode → decode is the identity for generated instructions.
+    #[test]
+    fn encode_decode_identity(instr in displayable_instr()) {
+        prop_assert_eq!(Instr::decode(instr.encode()).unwrap(), instr);
+    }
+
+    /// The assembler rejects junk without panicking.
+    #[test]
+    fn assembler_never_panics(line in "[a-z0-9#, .\\[\\]]{0,40}") {
+        let _ = assemble(&line);
+    }
+}

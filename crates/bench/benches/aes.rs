@@ -1,0 +1,36 @@
+//! Microbenchmarks of the from-scratch AES and the key-schedule scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use voltboot_crypto::aes::{Aes, AesKey, KeySchedule};
+use voltboot_sram::PackedBits;
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes::new(&AesKey::Aes128([7; 16]));
+    let block = [0x5Au8; 16];
+    c.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| black_box(aes.encrypt_block(black_box(&block))))
+    });
+    c.bench_function("aes128_key_expansion", |b| {
+        b.iter(|| black_box(KeySchedule::expand(&AesKey::Aes128(black_box([7; 16])))))
+    });
+}
+
+fn bench_key_scan(c: &mut Criterion) {
+    // A 32 KB image with one schedule planted in the middle.
+    let schedule = KeySchedule::expand(&AesKey::Aes128([9; 16]));
+    let mut bytes = vec![0xC3u8; 32 * 1024];
+    bytes[16_000..16_176].copy_from_slice(&schedule.to_bytes());
+    let image = PackedBits::from_bytes(&bytes);
+    c.bench_function("key_schedule_scan_32k_image", |b| {
+        b.iter(|| black_box(voltboot::analysis::find_key_schedules(black_box(&image)).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
+    targets = bench_aes, bench_key_scan
+}
+criterion_main!(benches);

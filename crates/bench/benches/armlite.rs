@@ -1,0 +1,75 @@
+//! Microbenchmarks of the armlite CPU: interpreter throughput on its
+//! own flat memory and through the full SoC cache hierarchy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use voltboot_armlite::program::builders;
+use voltboot_armlite::{Cpu, FlatMemory};
+
+fn bench_interpreter(c: &mut Criterion) {
+    // A tight arithmetic loop: 10k iterations x 5 instructions.
+    let program = voltboot_armlite::asm::assemble(
+        r#"
+        movz x0, #10000
+        movz x1, #0
+    loop:
+        add  x1, x1, #3
+        mul  x2, x1, x1
+        sub  x0, x0, #1
+        cbnz x0, loop
+        hlt  #0
+    "#,
+    )
+    .unwrap();
+    c.bench_function("armlite_flat_memory_50k_instrs", |b| {
+        b.iter(|| {
+            let mut mem = FlatMemory::new(4096);
+            mem.load(0, &program.bytes());
+            let mut cpu = Cpu::new(0);
+            let exit = cpu.run(&mut mem, 1_000_000);
+            black_box((exit, cpu.retired()))
+        });
+    });
+}
+
+fn bench_through_caches(c: &mut Criterion) {
+    c.bench_function("armlite_soc_cached_fill_16k", |b| {
+        b.iter(|| {
+            let mut soc = voltboot_soc::devices::raspberry_pi_4(0xBE);
+            soc.power_on_all();
+            soc.enable_caches(0);
+            let exit = soc.run_program(
+                0,
+                &builders::fill_bytes(0x10_0000, 0x5A, 16 * 1024),
+                0x8_0000,
+                50_000_000,
+            );
+            black_box(exit)
+        });
+    });
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let source = r#"
+        movz x0, #0xFFFF, lsl #16
+        movk x0, #0x1234
+    again:
+        sub  x0, x0, #1
+        tbz  x0, #3, skip
+        add  x1, x1, #1
+    skip:
+        cbnz x0, again
+        ret
+    "#;
+    c.bench_function("armlite_assemble_small_source", |b| {
+        b.iter(|| black_box(voltboot_armlite::asm::assemble(black_box(source)).unwrap().len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
+    targets = bench_interpreter, bench_through_caches, bench_assembler
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! End-to-end attack benches: Figure 7 (bare-metal cache theft), §7.2
+//! (registers), and the key-theft scenario, plus the probe ablation
+//! (bench supply vs weak source — the droop failure mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use voltboot::attack::{Extraction, VoltBootAttack};
+use voltboot::experiments::{fig7, keytheft, sec72};
+use voltboot_pdn::Probe;
+use voltboot_soc::devices;
+
+fn bench_fig7(c: &mut Criterion) {
+    let result = fig7::run(0xF7);
+    for d in &result.devices {
+        let min = d.per_core_accuracy.iter().copied().fold(f64::INFINITY, f64::min);
+        println!("Figure 7 {}: min per-core accuracy {:.2}% (paper 100%)", d.soc, min * 100.0);
+    }
+    c.bench_function("fig7_baremetal_attack_bcm2711", |b| {
+        b.iter(|| {
+            let mut soc = devices::raspberry_pi_4(0x77);
+            soc.power_on_all();
+            voltboot::workloads::baremetal_nop_fill(&mut soc).unwrap();
+            let outcome = VoltBootAttack::new("TP15")
+                .extraction(Extraction::Caches { cores: vec![0] })
+                .execute(&mut soc)
+                .unwrap();
+            black_box(outcome.images.len())
+        });
+    });
+}
+
+fn bench_registers_and_keys(c: &mut Criterion) {
+    let regs = sec72::run(0x72);
+    for d in &regs.devices {
+        println!(
+            "Section 7.2 {}: {}/{} registers retained (paper: all)",
+            d.soc, d.retained_registers, d.total_registers
+        );
+    }
+    let theft = keytheft::run(0x17, keytheft::KeyHome::Registers);
+    println!(
+        "Key theft: voltboot recovers = {}, cold boot recovers = {}",
+        theft.voltboot_recovers, theft.coldboot_recovers
+    );
+    c.bench_function("keytheft_registers_e2e", |b| {
+        b.iter(|| black_box(keytheft::run(0x17, keytheft::KeyHome::Registers).voltboot_recovers));
+    });
+}
+
+fn bench_probe_ablation(c: &mut Criterion) {
+    // Design-choice ablation: the probe's current capability decides
+    // whether the held rail rides through the core surge (paper §6).
+    let mut group = c.benchmark_group("probe_ablation");
+    for (label, probe) in [
+        ("bench_3a", Probe::bench_supply(0.0, 3.0)),
+        ("weak_0a2", Probe::weak_source(0.0, 0.2)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut soc = devices::raspberry_pi_4(0xAB);
+                soc.power_on_all();
+                voltboot::workloads::baremetal_nop_fill(&mut soc).unwrap();
+                let before = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+                let outcome = VoltBootAttack::new("TP15")
+                    .probe(probe)
+                    .extraction(Extraction::Caches { cores: vec![0] })
+                    .execute(&mut soc)
+                    .unwrap();
+                let got = &outcome.image("core0.l1i.way0").unwrap().bits;
+                black_box(got.fractional_hamming(&before))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
+    targets = bench_fig7, bench_registers_and_keys, bench_probe_ablation
+}
+criterion_main!(benches);

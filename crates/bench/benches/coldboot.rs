@@ -1,0 +1,36 @@
+//! Table 1 / Figure 3 regeneration bench: the cold-boot baseline across
+//! temperatures. Prints the table rows alongside the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use voltboot::experiments::{fig3, table1};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the rows once so the bench log carries the reproduction.
+    let result = table1::run(0xBE7C);
+    println!("\nTable 1 (cold boot on BCM2711 d-cache):");
+    for row in &result.rows {
+        println!(
+            "  {:>6.1} C: mean error {:.2}% (paper ~50%), HD vs startup {:.3} (paper ~0.10)",
+            row.celsius,
+            row.mean_error * 100.0,
+            row.hd_vs_startup
+        );
+    }
+
+    let mut group = c.benchmark_group("table1_coldboot");
+    for celsius in [0.0f64, -40.0] {
+        group.bench_with_input(BenchmarkId::new("cold_boot", celsius as i64), &celsius, |b, _| {
+            b.iter(|| black_box(fig3::run(0xF3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
+    targets = bench_table1
+}
+criterion_main!(benches);

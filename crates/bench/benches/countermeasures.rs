@@ -1,0 +1,37 @@
+//! §8 regeneration bench: the countermeasure matrix and the purge-timing
+//! demonstration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use voltboot::experiments::sec8;
+
+fn bench_sec8(c: &mut Criterion) {
+    let result = sec8::run(0x8888);
+    println!("\nSection 8 countermeasure matrix:");
+    for row in &result.rows {
+        println!(
+            "  {:<36} attack {} (recovered {:.1}%)",
+            row.countermeasure.name(),
+            if row.attack_succeeded { "SUCCEEDS" } else { "stopped " },
+            row.recovered_fraction * 100.0
+        );
+    }
+    let (orderly, abrupt) = sec8::purge_timing_demo(0x8889);
+    println!(
+        "  power-down purge: orderly shutdown leaves {:.1}%, abrupt disconnect leaves {:.1}%",
+        orderly * 100.0,
+        abrupt * 100.0
+    );
+
+    c.bench_function("sec8_full_matrix", |b| {
+        b.iter(|| black_box(sec8::run(0x8888).rows.len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
+    targets = bench_sec8
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table 4 / Figures 7-10 regeneration bench: extraction throughput and
+//! accuracy. Prints the table rows alongside the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use voltboot::attack::{extract_caches, Extraction, VoltBootAttack};
+use voltboot::experiments::{fig9_10, table4};
+use voltboot_soc::devices;
+
+fn bench_table4(c: &mut Criterion) {
+    let result = table4::run(0x7AB4, 1);
+    println!("\nTable 4 (mean % extracted vs array size):");
+    for &kb in &table4::ARRAY_KB {
+        println!("  {kb:>2} KB: {:.2}%", result.mean_extracted(kb) * 100.0);
+    }
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for kb in [4u32, 32] {
+        group.bench_with_input(BenchmarkId::new("array_sweep", kb), &kb, |b, &_kb| {
+            b.iter(|| black_box(table4::run(0x7AB4, 1).mean_extracted(32)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ramindex_throughput(c: &mut Criterion) {
+    // How fast the RAMINDEX beat loop dumps one core's caches.
+    let mut soc = devices::raspberry_pi_4(0xEE);
+    soc.power_on_all();
+    soc.enable_caches(0);
+    soc.run_program(
+        0,
+        &voltboot_armlite::program::builders::nop_sled(2048),
+        0x10000,
+        1_000_000,
+    );
+    c.bench_function("ramindex_dump_one_core", |b| {
+        b.iter(|| black_box(extract_caches(&soc, &[0]).unwrap().len()));
+    });
+}
+
+fn bench_iram_dump(c: &mut Criterion) {
+    let result = fig9_10::run(0x910);
+    println!(
+        "\nFigures 9/10: overall iRAM error {:.2}% (paper 2.7%), {} damaged windows",
+        result.overall_error * 100.0,
+        result.error_clusters.len()
+    );
+    c.bench_function("iram_jtag_attack_e2e", |b| {
+        b.iter(|| {
+            let mut soc = devices::imx53_qsb(0x99);
+            soc.power_on_all();
+            voltboot::workloads::iram_bitmap(&mut soc).unwrap();
+            let outcome = VoltBootAttack::new("SH13")
+                .extraction(Extraction::IramJtag)
+                .execute(&mut soc)
+                .unwrap();
+            black_box(outcome.images.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
+    targets = bench_table4, bench_ramindex_throughput, bench_iram_dump
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the SRAM physics substrate: power-up sampling,
+//! decay resolution, and the fast retention paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use voltboot_sram::{ArrayConfig, OffEvent, SramArray, Temperature};
+
+fn bench_power_on(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sram_power_on");
+    for kb in [4usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("first_powerup", kb), &kb, |b, &kb| {
+            b.iter(|| {
+                let mut s = SramArray::new(ArrayConfig::with_bytes("b", kb * 1024), 7);
+                s.power_on().unwrap();
+                black_box(s.len_bytes())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sram_power_cycle");
+    group.bench_function("held_fast_path_32k", |b| {
+        b.iter(|| {
+            let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
+            s.power_on().unwrap();
+            s.power_off(OffEvent::held(0.8)).unwrap();
+            s.elapse(Duration::from_secs(60), Temperature::ROOM);
+            black_box(s.power_on().unwrap().retained)
+        });
+    });
+    group.bench_function("unpowered_full_loss_32k", |b| {
+        b.iter(|| {
+            let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
+            s.power_on().unwrap();
+            s.power_off(OffEvent::unpowered()).unwrap();
+            s.elapse(Duration::from_millis(500), Temperature::ROOM);
+            black_box(s.power_on().unwrap().lost)
+        });
+    });
+    group.bench_function("partial_retention_minus110c_32k", |b| {
+        b.iter(|| {
+            let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
+            s.power_on().unwrap();
+            s.power_off(OffEvent::unpowered()).unwrap();
+            s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+            black_box(s.power_on().unwrap().retained)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
+    targets = bench_power_on, bench_cycle_paths
+}
+criterion_main!(benches);

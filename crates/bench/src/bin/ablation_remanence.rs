@@ -1,0 +1,37 @@
+//! Ablation: the SRAM remanence surface (retention vs temperature and
+//! off-time), validating the calibration against the literature anchors
+//! the paper cites in §3.
+
+use voltboot::experiments::ablations;
+use voltboot::report::{pct, TextTable};
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("Ablation", "SRAM remanence: retention vs temperature and off-time");
+    let curve = ablations::remanence_curve(seed());
+
+    let temps = [-150.0, -110.0, -90.0, -40.0, 0.0, 25.0];
+    let times = [1u64, 5, 20, 100, 500];
+    let mut table = TextTable::new(
+        std::iter::once("off time".to_string())
+            .chain(temps.iter().map(|t| format!("{t:.0} C")))
+            .collect::<Vec<_>>(),
+    );
+    for &ms in &times {
+        let mut row = vec![format!("{ms} ms")];
+        for &t in &temps {
+            let p = curve
+                .iter()
+                .find(|p| p.celsius == t && p.off_ms == ms)
+                .expect("point");
+            row.push(pct(p.retention));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    let anchor = curve.iter().find(|p| p.celsius == -110.0 && p.off_ms == 20).unwrap();
+    compare("retention at -110 C / 20 ms", "~80% [lit.]", &pct(anchor.retention));
+    let at40 = curve.iter().find(|p| p.celsius == -40.0 && p.off_ms == 100).unwrap();
+    compare("retention at -40 C / 100 ms", "~0% [paper]", &pct(at40.retention));
+}

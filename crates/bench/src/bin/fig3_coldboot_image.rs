@@ -1,0 +1,23 @@
+//! Regenerates Figure 3: a d-cache way image after a cold boot at
+//! −40 °C. Writes `fig3_dcache.pbm` and prints an ASCII thumbnail.
+
+use voltboot::analysis;
+use voltboot::experiments::fig3;
+use voltboot::report::pct;
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("Figure 3", "d-cache snapshot after cold boot at -40 C");
+    let result = fig3::run(seed());
+
+    compare("ones fraction (random state ~50%)", "~50%", &pct(result.ones_fraction));
+    compare("error vs stored pattern", "~50%", &pct(result.error_vs_stored));
+
+    let pbm = fig3::render_pbm(&result);
+    let path = "fig3_dcache.pbm";
+    if std::fs::write(path, &pbm).is_ok() {
+        println!("\nwrote {path} (512x256, WAY0 = 16 KB as in the paper's caption)");
+    }
+    println!("\nASCII thumbnail (uniform speckle = power-up state):\n");
+    println!("{}", analysis::ascii_thumbnail(&result.way_image, 64, 16));
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 8: Volt Boot against a 0xAA-pattern application
+//! under a running OS.
+
+use voltboot::analysis;
+use voltboot::experiments::fig8;
+use voltboot::report::pct;
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("Figure 8", "cache snapshots with an OS running (0xAA victim app)");
+    let result = fig8::run(seed());
+
+    compare("victim instructions found in i-cache", "all", &pct(result.instruction_fraction));
+    println!("  0xAA bytes in extracted d-cache way 0: {}", result.pattern_bytes);
+
+    for (name, bits) in [("fig8_dcache.pbm", &result.dcache_way), ("fig8_icache.pbm", &result.icache_way)] {
+        if std::fs::write(name, analysis::to_pbm(bits, 512)).is_ok() {
+            println!("  wrote {name}");
+        }
+    }
+    println!("\nD-cache thumbnail (banded regions = the 0xAA structure):\n");
+    println!("{}", analysis::ascii_thumbnail(&result.dcache_way, 64, 16));
+}

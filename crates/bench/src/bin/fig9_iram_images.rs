@@ -1,0 +1,33 @@
+//! Regenerates Figure 9: the four 32 KB iRAM quadrants extracted from an
+//! i.MX535 over JTAG. Writes one PBM per quadrant.
+
+use voltboot::analysis;
+use voltboot::experiments::fig9_10;
+use voltboot::report::pct;
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("Figure 9", "iRAM bitmap extraction on the i.MX535 (JTAG)");
+    let result = fig9_10::run(seed());
+
+    compare("overall error", "2.7%", &pct(result.overall_error));
+    let ranges = [
+        "0xF8000000..0xF8007FFF",
+        "0xF8008000..0xF800FFFF",
+        "0xF8010000..0xF8017FFF",
+        "0xF8018000..0xF8020000",
+    ];
+    for (q, range) in ranges.iter().enumerate() {
+        let pbm = fig9_10::render_quadrant_pbm(&result, q);
+        let path = format!("fig9_iram_q{q}.pbm");
+        if std::fs::write(&path, pbm).is_ok() {
+            println!("  wrote {path} ({range})");
+        }
+    }
+    println!("\nFirst quadrant thumbnail (damage at the top = ROM scratchpad):\n");
+    let quad0 = {
+        let bytes = result.extracted.to_bytes();
+        voltboot_sram::PackedBits::from_bytes(&bytes[..32 * 1024])
+    };
+    println!("{}", analysis::ascii_thumbnail(&quad0, 64, 24));
+}

@@ -1,0 +1,22 @@
+//! End-to-end secret theft (the paper's motivating scenario): steal an
+//! FDE key schedule from on-chip storage and decrypt the disk offline.
+
+use voltboot::experiments::keytheft::{self, KeyHome};
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("End-to-end", "full-disk-encryption key theft via Volt Boot");
+    for home in [KeyHome::Registers, KeyHome::LockedCache] {
+        let result = keytheft::run(seed(), home);
+        let label = match home {
+            KeyHome::Registers => "TRESOR-style NEON registers",
+            KeyHome::LockedCache => "CaSE-style locked cache way",
+        };
+        println!("\nkey home: {label}");
+        compare("Volt Boot recovers working disk key", "yes", if result.voltboot_recovers { "yes" } else { "NO" });
+        compare("cold boot (-40 C) recovers key", "no", if result.coldboot_recovers { "YES" } else { "no" });
+        if let Some(pt) = &result.recovered_plaintext {
+            println!("  decrypted sector 0: {pt:?}");
+        }
+    }
+}

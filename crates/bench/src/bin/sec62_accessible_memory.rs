@@ -1,0 +1,21 @@
+//! Regenerates §6.2: how much retained SRAM the attacker can access
+//! after the device's own boot path runs.
+
+use voltboot::experiments::sec62;
+use voltboot::report::{pct, TextTable};
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("Section 6.2", "memory accessible to an attacker after boot");
+    let result = sec62::run(seed());
+
+    let mut table = TextTable::new(["Device", "Memory", "Accessible"]);
+    for row in &result.rows {
+        table.row([row.device.clone(), row.memory.clone(), pct(row.accessible_fraction)]);
+    }
+    println!("{}", table.render());
+
+    compare("BCM L1 caches", "100%", &pct(result.rows[0].accessible_fraction));
+    compare("BCM shared L2 (VideoCore boots first)", "~0%", &pct(result.rows[1].accessible_fraction));
+    compare("i.MX535 iRAM (ROM scratchpad)", "~95%", &pct(result.rows[2].accessible_fraction));
+}

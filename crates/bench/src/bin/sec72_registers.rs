@@ -1,0 +1,30 @@
+//! Regenerates §7.2: vector registers fully retain across Volt Boot.
+
+use voltboot::experiments::sec72;
+use voltboot::report::TextTable;
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("Section 7.2", "attacking CPU vector registers (v0..v31)");
+    let result = sec72::run(seed());
+
+    let mut table = TextTable::new(["SoC", "Registers retained", "Total"]);
+    for d in &result.devices {
+        table.row([
+            d.soc.clone(),
+            d.retained_registers.to_string(),
+            d.total_registers.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    for d in &result.devices {
+        compare(
+            &format!("{} register retention", d.soc),
+            "full (100%)",
+            &format!("{}/{}", d.retained_registers, d.total_registers),
+        );
+    }
+    println!("\nAny cryptographic scheme hiding key schedules in these registers");
+    println!("(TRESOR/PRIME-style) is vulnerable — see the key_theft example.");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 1: cold-boot errors on the BCM2711 d-cache at
+//! 0 °C, −5 °C, and −40 °C.
+
+use voltboot::experiments::table1;
+use voltboot::report::{pct, TextTable};
+use voltboot_bench::{banner, compare, seed};
+
+fn main() {
+    banner("Table 1", "cold boot on BCM2711 d-cache is ineffective");
+    let result = table1::run(seed());
+
+    let mut table = TextTable::new(["Temperature", "Mean error", "HD vs startup state"]);
+    for row in &result.rows {
+        table.row([
+            format!("{:.0} C", row.celsius),
+            pct(row.mean_error),
+            format!("{:.3}", row.hd_vs_startup),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let paper = [("0 C", 0.5014), ("-5 C", 0.5006), ("-40 C", 0.5039)];
+    for ((label, p), row) in paper.iter().zip(&result.rows) {
+        compare(&format!("error at {label}"), &pct(*p), &pct(row.mean_error));
+    }
+    compare("fractional HD vs startup", "~0.10", &format!("{:.3}", result.rows[2].hd_vs_startup));
+    println!("\nConclusion: ~50% error at every achievable temperature — no retention;");
+    println!("the cache simply reset to its power-up state.");
+}

@@ -1,0 +1,54 @@
+//! Regenerates Table 2 (evaluated platforms) and the Figure 4 view of
+//! each board's PDN (rails, regulators, domains).
+
+use voltboot::report::TextTable;
+use voltboot_bench::{banner, seed};
+use voltboot_soc::devices;
+
+fn main() {
+    banner("Table 2", "evaluated platforms and SoCs");
+    let mut table =
+        TextTable::new(["Board", "SoC", "CPU", "L1D", "L1I", "L2", "iRAM", "JTAG"]);
+    for build in [devices::raspberry_pi_4, devices::raspberry_pi_3, devices::imx53_qsb] {
+        let soc = build(seed());
+        let core = soc.core(0).unwrap();
+        let geom = |g: voltboot_soc::CacheGeometry| {
+            format!("{}KB/{}w", g.size_bytes / 1024, g.ways)
+        };
+        table.row([
+            soc.board_name().to_string(),
+            soc.soc_name().to_string(),
+            format!("{}x {}", soc.core_count(), soc.cpu_name()),
+            geom(core.l1d.geometry()),
+            geom(core.l1i.geometry()),
+            geom(soc.l2().geometry()),
+            soc.iram().map(|i| format!("{}KB", i.len() / 1024)).unwrap_or_else(|| "-".into()),
+            if soc.jtag_read(0, 0).is_ok() || soc.iram().is_some() { "yes" } else { "no" }
+                .to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    banner("Figure 4", "power-delivery topology per board");
+    for build in [devices::raspberry_pi_4, devices::raspberry_pi_3, devices::imx53_qsb] {
+        let soc = build(seed());
+        println!("{} — PMIC {}", soc.board_name(), soc.network().pmic().model);
+        for rail in &soc.network().pmic().rails {
+            let domains: Vec<&str> = soc
+                .network()
+                .domains()
+                .iter()
+                .filter(|d| d.rail == rail.name)
+                .map(|d| d.name.as_str())
+                .collect();
+            println!(
+                "  {:<10} {:>4.2} V  {:<4} -> domains: {}",
+                rail.name,
+                rail.nominal_voltage,
+                rail.regulator.label(),
+                if domains.is_empty() { "-".into() } else { domains.join(", ") }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates Table 3: PCB test pads, nominal voltages, target
+//! memories, and power domains.
+
+use voltboot::report::TextTable;
+use voltboot_bench::banner;
+use voltboot_soc::devices;
+
+fn main() {
+    banner("Table 3", "probe points and target power domains");
+    let mut table = TextTable::new([
+        "Board",
+        "PCB test pad",
+        "Nominal voltage",
+        "Target memories",
+        "Power domain (rail)",
+    ]);
+    for (board, _, _, pad, rail, volts, memories) in devices::catalog_rows() {
+        table.row([
+            board.to_string(),
+            pad.to_string(),
+            format!("{volts} V"),
+            memories.to_string(),
+            rail.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Cross-check against the live device models.
+    for build in [devices::raspberry_pi_4, devices::raspberry_pi_3, devices::imx53_qsb] {
+        let soc = build(1);
+        for p in soc.network().probe_points() {
+            let v = soc.network().pmic().rail(&p.rail).unwrap().nominal_voltage;
+            println!(
+                "verified: {} pad {} -> rail {} at {:.1} V ({})",
+                soc.board_name(),
+                p.pad,
+                p.rail,
+                v,
+                p.notes
+            );
+        }
+    }
+}

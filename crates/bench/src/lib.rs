@@ -1,0 +1,35 @@
+//! Shared helpers for the Volt Boot repro binaries and benches.
+//!
+//! Each `repro_*` binary regenerates one of the paper's tables or
+//! figures (see `DESIGN.md` for the index) and prints the measured
+//! values next to the paper's reported values where the paper gives
+//! concrete numbers.
+
+/// The die seed the repro binaries use, overridable via the
+/// `VOLTBOOT_SEED` environment variable.
+pub fn seed() -> u64 {
+    std::env::var("VOLTBOOT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x2022_A5_B007)
+}
+
+/// Prints a banner for one experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Prints a paper-vs-measured line.
+pub fn compare(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<44} paper: {paper:<12} measured: {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seed_has_a_default() {
+        assert_ne!(super::seed(), 0);
+    }
+}

@@ -1,0 +1,576 @@
+//! Offline analysis of extracted memory images.
+//!
+//! Step 4 of the attack (§6.1): "Depending on the target SRAM and the
+//! objective, an attacker needs to adapt post-processing." This module
+//! provides the post-processing the paper's evaluation uses:
+//!
+//! * Hamming-distance metrics and the 512-bit-window series of Figure 10;
+//! * bitmap rendering of cache ways and iRAM (Figures 3, 7, 8, 9);
+//! * pattern and instruction grep (Figures 7/8's "we grep the i-cache
+//!   contents and confirm that we find all the instructions");
+//! * Table 4's array-element accounting;
+//! * AES key-schedule search: exact for Volt Boot's error-free images,
+//!   and a Halderman-style tolerant search to show why noisy SRAM images
+//!   defeat it (bistable cells give no error direction).
+
+use voltboot_crypto::aes::KeySchedule;
+use voltboot_sram::PackedBits;
+
+// ----------------------------------------------------------------------
+// Hamming metrics
+// ----------------------------------------------------------------------
+
+/// Fractional Hamming distance between two images.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn fractional_hamming(a: &PackedBits, b: &PackedBits) -> f64 {
+    a.fractional_hamming(b)
+}
+
+/// The Figure 10 series: Hamming distance per `window`-bit chunk.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or `window == 0`.
+pub fn hamming_series(a: &PackedBits, b: &PackedBits, window: usize) -> Vec<usize> {
+    a.windowed_hamming(b, window)
+}
+
+/// Indices of windows whose Hamming distance exceeds `threshold` — the
+/// "where do the errors cluster" question of Figure 10.
+pub fn error_clusters(series: &[usize], threshold: usize) -> Vec<usize> {
+    series.iter().enumerate().filter(|(_, &h)| h > threshold).map(|(i, _)| i).collect()
+}
+
+// ----------------------------------------------------------------------
+// Bitmap rendering
+// ----------------------------------------------------------------------
+
+/// Renders an image as a PBM (portable bitmap) file body, `cols` bits per
+/// row — loadable by any image viewer, mirroring the paper's cache
+/// snapshots.
+///
+/// # Panics
+///
+/// Panics if `cols == 0`.
+pub fn to_pbm(bits: &PackedBits, cols: usize) -> String {
+    assert!(cols > 0, "cols must be positive");
+    let rows = bits.len().div_ceil(cols);
+    let mut out = format!("P1\n{cols} {rows}\n");
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            let bit = if i < bits.len() && bits.get(i) { '1' } else { '0' };
+            out.push(bit);
+            out.push(if c + 1 == cols { '\n' } else { ' ' });
+        }
+    }
+    out
+}
+
+/// Renders a coarse ASCII thumbnail (`width x height` characters) of an
+/// image, daRk blocks for dense-ones regions — the quick-look view the
+/// repro binaries print.
+pub fn ascii_thumbnail(bits: &PackedBits, width: usize, height: usize) -> String {
+    let total = bits.len().max(1);
+    let cell = (total / (width * height)).max(1);
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in 0..height {
+        for col in 0..width {
+            let start = (row * width + col) * cell;
+            let end = (start + cell).min(total);
+            if start >= total {
+                out.push(' ');
+                continue;
+            }
+            let ones: usize = (start..end).filter(|&i| bits.get(i)).count();
+            let density = ones as f64 / (end - start) as f64;
+            out.push(match density {
+                d if d < 0.1 => ' ',
+                d if d < 0.3 => '.',
+                d if d < 0.5 => ':',
+                d if d < 0.7 => 'o',
+                d if d < 0.9 => 'O',
+                _ => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Pattern search
+// ----------------------------------------------------------------------
+
+/// Counts non-overlapping occurrences of `needle` in the image bytes.
+pub fn count_pattern(bits: &PackedBits, needle: &[u8]) -> usize {
+    if needle.is_empty() {
+        return 0;
+    }
+    let hay = bits.to_bytes();
+    let mut count = 0;
+    let mut i = 0;
+    while i + needle.len() <= hay.len() {
+        if &hay[i..i + needle.len()] == needle {
+            count += 1;
+            i += needle.len();
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Byte offsets of every occurrence of `needle` (overlapping allowed).
+pub fn find_pattern(bits: &PackedBits, needle: &[u8]) -> Vec<usize> {
+    let hay = bits.to_bytes();
+    if needle.is_empty() || needle.len() > hay.len() {
+        return Vec::new();
+    }
+    (0..=hay.len() - needle.len()).filter(|&i| &hay[i..i + needle.len()] == needle).collect()
+}
+
+/// Counts 32-bit words in the image that decode as supported A64
+/// instructions — the i-cache "is this machine code?" check.
+pub fn count_decodable_instructions(bits: &PackedBits) -> usize {
+    bits.to_bytes()
+        .chunks_exact(4)
+        .filter(|c| {
+            voltboot_armlite::Instr::decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])).is_ok()
+        })
+        .count()
+}
+
+/// Fraction of ones in the image — ≈0.5 indicates an uninitialized
+/// power-up state (Figure 3's observation).
+pub fn ones_fraction(bits: &PackedBits) -> f64 {
+    bits.ones_fraction()
+}
+
+/// Renders an ASCII *damage map* of two images: each character covers an
+/// equal share of the bits and shows the local mismatch density
+/// (`' '` none → `'#'` heavy). The Figure 10 view at a glance.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or `width == 0`.
+pub fn diff_map(a: &PackedBits, b: &PackedBits, width: usize, rows: usize) -> String {
+    assert_eq!(a.len(), b.len(), "diff map needs equal lengths");
+    assert!(width > 0 && rows > 0, "dimensions must be positive");
+    let cells = width * rows;
+    let per_cell = (a.len() / cells).max(1);
+    let mut out = String::with_capacity((width + 1) * rows);
+    for row in 0..rows {
+        for col in 0..width {
+            let start = (row * width + col) * per_cell;
+            if start >= a.len() {
+                out.push(' ');
+                continue;
+            }
+            let end = (start + per_cell).min(a.len());
+            let mismatches = (start..end).filter(|&i| a.get(i) != b.get(i)).count();
+            let density = mismatches as f64 / (end - start) as f64;
+            out.push(match density {
+                d if d == 0.0 => ' ',
+                d if d < 0.05 => '.',
+                d if d < 0.2 => ':',
+                d if d < 0.4 => 'o',
+                _ => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts printable-ASCII runs of at least `min_len` bytes from an
+/// image — the classic forensic `strings` pass over an extracted dump.
+pub fn printable_strings(bits: &PackedBits, min_len: usize) -> Vec<(usize, String)> {
+    let bytes = bits.to_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut current = String::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if (0x20..0x7F).contains(&b) {
+            if current.is_empty() {
+                start = i;
+            }
+            current.push(b as char);
+        } else {
+            if current.len() >= min_len {
+                out.push((start, std::mem::take(&mut current)));
+            }
+            current.clear();
+        }
+    }
+    if current.len() >= min_len {
+        out.push((start, current));
+    }
+    out
+}
+
+/// Disassembles an image into an address-annotated listing, marking
+/// undecodable words as data. `base` is the address of byte 0.
+pub fn disassembly_listing(bits: &PackedBits, base: u64) -> String {
+    let bytes = bits.to_bytes();
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        let addr = base + i as u64 * 4;
+        match voltboot_armlite::Instr::decode(word) {
+            Ok(instr) => out.push_str(&format!("{addr:#010x}: {word:08x}  {instr}\n")),
+            Err(_) => out.push_str(&format!("{addr:#010x}: {word:08x}  .word\n")),
+        }
+    }
+    out
+}
+
+/// Shannon entropy estimate of the image's byte distribution, in bits
+/// per byte (0–8). Power-up SRAM reads ≈8; machine code and structured
+/// data read noticeably lower — a quick classifier for extracted images.
+pub fn byte_entropy(bits: &PackedBits) -> f64 {
+    let bytes = bits.to_bytes();
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut histogram = [0usize; 256];
+    for &b in &bytes {
+        histogram[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    -histogram
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+// ----------------------------------------------------------------------
+// Table 4 accounting
+// ----------------------------------------------------------------------
+
+/// Counts which of the `count` 8-byte victim array elements
+/// (`elem(i) = (seed << 48) | i`) appear in an extracted way image.
+/// Returns the per-element presence mask.
+pub fn elements_present(way_image: &PackedBits, seed: u16, count: usize) -> Vec<bool> {
+    let bytes = way_image.to_bytes();
+    let mut present = vec![false; count];
+    for window in bytes.windows(8).step_by(8) {
+        let v = u64::from_le_bytes(window.try_into().expect("8 bytes"));
+        if v >> 48 == seed as u64 {
+            let idx = (v & 0xFFFF_FFFF_FFFF) as usize;
+            if idx < count {
+                present[idx] = true;
+            }
+        }
+    }
+    present
+}
+
+/// Table 4 row fragment: elements found in W0 only, W1 only, and the
+/// union, given both way images.
+pub fn table4_counts(
+    w0: &PackedBits,
+    w1: &PackedBits,
+    seed: u16,
+    count: usize,
+) -> (usize, usize, usize) {
+    let p0 = elements_present(w0, seed, count);
+    let p1 = elements_present(w1, seed, count);
+    let in0 = p0.iter().filter(|&&p| p).count();
+    let in1 = p1.iter().filter(|&&p| p).count();
+    let union = p0.iter().zip(&p1).filter(|(a, b)| **a || **b).count();
+    (in0, in1, union)
+}
+
+// ----------------------------------------------------------------------
+// Key recovery
+// ----------------------------------------------------------------------
+
+/// Scans an image for byte runs that form a *consistent* AES key
+/// schedule (AES-128/192/256). Works on error-free images — the Volt
+/// Boot case — and returns every schedule found with its byte offset.
+///
+/// ```rust
+/// use voltboot::analysis::find_key_schedules;
+/// use voltboot_crypto::aes::{AesKey, KeySchedule};
+/// use voltboot_sram::PackedBits;
+///
+/// let key = AesKey::Aes128(*b"hidden-in-sram!!");
+/// let mut dump = vec![0u8; 100];
+/// dump.extend(KeySchedule::expand(&key).to_bytes());
+/// let found = find_key_schedules(&PackedBits::from_bytes(&dump));
+/// assert_eq!(found[0].0, 100);
+/// assert_eq!(found[0].1.original_key(), key);
+/// ```
+pub fn find_key_schedules(bits: &PackedBits) -> Vec<(usize, KeySchedule)> {
+    let bytes = bits.to_bytes();
+    let mut found = Vec::new();
+    for (nk, sched_len) in [(4usize, 176usize), (6, 208), (8, 240)] {
+        if bytes.len() < sched_len {
+            continue;
+        }
+        for offset in 0..=bytes.len() - sched_len {
+            if let Some(ks) = KeySchedule::from_bytes(&bytes[offset..offset + sched_len], nk) {
+                found.push((offset, ks));
+            }
+        }
+    }
+    found
+}
+
+/// A Halderman-style tolerant search: accepts schedules whose recurrence
+/// holds for all but `max_bad_words` of the expansion words, then repairs
+/// them by re-expanding from the first `Nk` words. Returns candidates
+/// with their error count.
+///
+/// On a noisy SRAM image this fails in an instructive way: SRAM cells are
+/// bistable, so a decayed bit carries no bias toward its old value
+/// (paper §5.1: "SRAM cells are bistable, which makes it harder to look
+/// for keys using the algorithm proposed in the original cold boot
+/// attack"), and the first words themselves are as likely to be corrupt
+/// as any others.
+pub fn find_key_schedules_tolerant(
+    bits: &PackedBits,
+    nk: usize,
+    max_bad_words: usize,
+) -> Vec<(usize, usize, KeySchedule)> {
+    let sched_len = match nk {
+        4 => 176,
+        6 => 208,
+        8 => 240,
+        _ => return Vec::new(),
+    };
+    let bytes = bits.to_bytes();
+    if bytes.len() < sched_len {
+        return Vec::new();
+    }
+    let mut found = Vec::new();
+    for offset in (0..=bytes.len() - sched_len).step_by(4) {
+        let window = &bytes[offset..offset + sched_len];
+        let words: Vec<u32> = window
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let bad = schedule_violations(&words, nk);
+        if bad <= max_bad_words {
+            // Repair: re-expand from the candidate key words.
+            let key_bytes: Vec<u8> = words[..nk].iter().flat_map(|w| w.to_be_bytes()).collect();
+            let key = match nk {
+                4 => voltboot_crypto::aes::AesKey::Aes128(key_bytes.try_into().expect("16")),
+                6 => voltboot_crypto::aes::AesKey::Aes192(key_bytes.try_into().expect("24")),
+                _ => voltboot_crypto::aes::AesKey::Aes256(key_bytes.try_into().expect("32")),
+            };
+            found.push((offset, bad, KeySchedule::expand(&key)));
+        }
+    }
+    found
+}
+
+/// Number of key-expansion recurrence violations in a word sequence.
+fn schedule_violations(words: &[u32], nk: usize) -> usize {
+    use voltboot_crypto::aes::{gf_mul, sbox};
+    let sub_word =
+        |w: u32| -> u32 { u32::from_be_bytes(w.to_be_bytes().map(sbox)) };
+    let mut rcon: u8 = 1;
+    let mut bad = 0;
+    for i in nk..words.len() {
+        let mut temp = words[i - 1];
+        if i % nk == 0 {
+            temp = sub_word(temp.rotate_left(8)) ^ ((rcon as u32) << 24);
+            rcon = gf_mul(rcon, 2);
+        } else if nk > 6 && i % nk == 4 {
+            temp = sub_word(temp);
+        }
+        if words[i] != words[i - nk] ^ temp {
+            bad += 1;
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltboot_crypto::aes::AesKey;
+
+    #[test]
+    fn pbm_shape() {
+        let bits = PackedBits::from_bytes(&[0b0000_0001, 0b1000_0000]);
+        let pbm = to_pbm(&bits, 8);
+        let mut lines = pbm.lines();
+        assert_eq!(lines.next(), Some("P1"));
+        assert_eq!(lines.next(), Some("8 2"));
+        assert_eq!(lines.next(), Some("1 0 0 0 0 0 0 0"));
+        assert_eq!(lines.next(), Some("0 0 0 0 0 0 0 1"));
+    }
+
+    #[test]
+    fn ascii_thumbnail_density() {
+        let ones = PackedBits::ones(64 * 64);
+        let zeros = PackedBits::zeros(64 * 64);
+        let t1 = ascii_thumbnail(&ones, 8, 4);
+        let t0 = ascii_thumbnail(&zeros, 8, 4);
+        assert!(t1.contains('#'));
+        assert!(!t0.contains('#'));
+    }
+
+    #[test]
+    fn pattern_search() {
+        let bits = PackedBits::from_bytes(b"xxAAAAyyAAAAzz");
+        assert_eq!(count_pattern(&bits, b"AAAA"), 2);
+        assert_eq!(find_pattern(&bits, b"AAAA"), vec![2, 8]);
+        assert_eq!(count_pattern(&bits, b""), 0);
+    }
+
+    #[test]
+    fn instruction_grep_sees_nops() {
+        let mut bytes = Vec::new();
+        for _ in 0..10 {
+            bytes.extend_from_slice(&0xD503201Fu32.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0x12345678u32.to_le_bytes());
+        let bits = PackedBits::from_bytes(&bytes);
+        assert_eq!(count_decodable_instructions(&bits), 10);
+    }
+
+    #[test]
+    fn element_accounting() {
+        let mut bytes = vec![0u8; 64];
+        let e5 = (0xBEEFu64 << 48) | 5;
+        let e9 = (0xBEEFu64 << 48) | 9;
+        bytes[8..16].copy_from_slice(&e5.to_le_bytes());
+        bytes[40..48].copy_from_slice(&e9.to_le_bytes());
+        let bits = PackedBits::from_bytes(&bytes);
+        let present = elements_present(&bits, 0xBEEF, 16);
+        assert!(present[5] && present[9]);
+        assert_eq!(present.iter().filter(|&&p| p).count(), 2);
+    }
+
+    #[test]
+    fn table4_union_counts() {
+        let e = |i: u64| ((0xCAFEu64 << 48) | i).to_le_bytes();
+        let mut w0 = vec![0u8; 32];
+        w0[..8].copy_from_slice(&e(0));
+        w0[8..16].copy_from_slice(&e(1));
+        let mut w1 = vec![0u8; 32];
+        w1[..8].copy_from_slice(&e(1));
+        w1[8..16].copy_from_slice(&e(2));
+        let (a, b, u) =
+            table4_counts(&PackedBits::from_bytes(&w0), &PackedBits::from_bytes(&w1), 0xCAFE, 4);
+        assert_eq!((a, b, u), (2, 2, 3));
+    }
+
+    #[test]
+    fn exact_key_search_finds_embedded_schedule() {
+        let key = AesKey::Aes128(*b"findme-findme-16");
+        let schedule = KeySchedule::expand(&key);
+        let mut bytes = vec![0x5Au8; 64];
+        bytes.extend(schedule.to_bytes());
+        bytes.extend(vec![0xC3u8; 32]);
+        let found = find_key_schedules(&PackedBits::from_bytes(&bytes));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, 64);
+        assert_eq!(found[0].1.original_key(), key);
+    }
+
+    #[test]
+    fn exact_key_search_rejects_corruption() {
+        let schedule = KeySchedule::expand(&AesKey::Aes128([3; 16]));
+        let mut bytes = schedule.to_bytes();
+        bytes[100] ^= 0x40;
+        assert!(find_key_schedules(&PackedBits::from_bytes(&bytes)).is_empty());
+    }
+
+    #[test]
+    fn tolerant_search_recovers_lightly_damaged_schedule() {
+        let key = AesKey::Aes128([0x42; 16]);
+        let schedule = KeySchedule::expand(&key);
+        let mut bytes = schedule.to_bytes();
+        // Corrupt two words beyond the key itself.
+        bytes[80] ^= 0x10;
+        bytes[120] ^= 0x01;
+        let found = find_key_schedules_tolerant(&PackedBits::from_bytes(&bytes), 4, 8);
+        assert!(found.iter().any(|(_, _, ks)| ks.original_key() == key));
+    }
+
+    #[test]
+    fn tolerant_search_fails_when_key_words_are_hit() {
+        let key = AesKey::Aes128([0x42; 16]);
+        let mut bytes = KeySchedule::expand(&key).to_bytes();
+        bytes[3] ^= 0x80; // inside the key itself
+        let found = find_key_schedules_tolerant(&PackedBits::from_bytes(&bytes), 4, 40);
+        assert!(found.iter().all(|(_, _, ks)| ks.original_key() != key));
+    }
+
+    #[test]
+    fn diff_map_localizes_damage() {
+        let a = PackedBits::zeros(64 * 64);
+        let mut b = a.clone();
+        // Damage only the first sixteenth.
+        for i in 0..256 {
+            b.set(i, true);
+        }
+        let map = diff_map(&a, &b, 16, 1);
+        assert!(map.starts_with('#'), "{map:?}");
+        assert!(map[1..].trim_end().chars().all(|c| c == ' '), "{map:?}");
+    }
+
+    #[test]
+    fn strings_pass_finds_text_runs() {
+        let mut bytes = vec![0u8; 16];
+        bytes.extend(b"password=hunter2");
+        bytes.push(0);
+        bytes.extend(b"ab"); // too short
+        bytes.push(0xFF);
+        bytes.extend(b"PIN 2071");
+        let found = printable_strings(&PackedBits::from_bytes(&bytes), 4);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0], (16, "password=hunter2".to_string()));
+        assert_eq!(found[1].1, "PIN 2071");
+    }
+
+    #[test]
+    fn disassembly_listing_annotates_addresses() {
+        let mut bytes = 0xD503201Fu32.to_le_bytes().to_vec(); // nop
+        bytes.extend(0x12345678u32.to_le_bytes()); // not an instruction
+        let listing = disassembly_listing(&PackedBits::from_bytes(&bytes), 0x8000);
+        let lines: Vec<&str> = listing.lines().collect();
+        assert!(lines[0].starts_with("0x00008000: d503201f  nop"));
+        assert!(lines[1].contains(".word"));
+    }
+
+    #[test]
+    fn entropy_separates_random_from_structured() {
+        let random: Vec<u8> = (0..4096u32)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 29;
+                z as u8
+            })
+            .collect();
+        let structured = vec![0xAAu8; 4096];
+        let h_random = byte_entropy(&PackedBits::from_bytes(&random));
+        let h_structured = byte_entropy(&PackedBits::from_bytes(&structured));
+        assert!(h_random > 7.5, "random entropy {h_random}");
+        assert!(h_structured < 0.01, "structured entropy {h_structured}");
+        assert_eq!(byte_entropy(&PackedBits::zeros(0)), 0.0);
+    }
+
+    #[test]
+    fn hamming_helpers() {
+        let a = PackedBits::ones(1024);
+        let b = PackedBits::zeros(1024);
+        assert_eq!(fractional_hamming(&a, &b), 1.0);
+        let series = hamming_series(&a, &b, 512);
+        assert_eq!(series, vec![512, 512]);
+        assert_eq!(error_clusters(&series, 100), vec![0, 1]);
+        assert_eq!(error_clusters(&[0, 5, 600], 100), vec![2]);
+    }
+}

@@ -1,0 +1,657 @@
+//! The Volt Boot attack and the cold-boot baseline.
+//!
+//! The attack follows the paper's Figure 5 flow:
+//!
+//! 1. **Identify** the target power domain and its exposed pad (Table 3);
+//! 2. **Attach** an external voltage probe at the measured live voltage;
+//! 3. **Power-cycle** the board abruptly — the probe keeps the target
+//!    SRAM above its retention voltage while everything else resets;
+//! 4. **Reboot** from attacker-controlled media (or the internal ROM);
+//! 5. **Extract** the retained SRAM through debug interfaces;
+//! 6. **Analyse** the images offline ([`crate::analysis`]).
+//!
+//! The same machinery runs the temperature-based cold-boot baseline of
+//! §3 ([`ColdBootAttack`]) — which fails on on-chip SRAM, reproducing the
+//! paper's Table 1.
+
+use crate::error::AttackError;
+use serde::{Deserialize, Serialize};
+use voltboot_pdn::Probe;
+use voltboot_soc::debug::{RamId, RAMINDEX_BEAT_BYTES};
+use voltboot_soc::{BootSource, PowerCycleSpec, Soc};
+use voltboot_sram::{PackedBits, Temperature};
+
+/// What the attacker reads out after the reboot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Extraction {
+    /// L1 cache data RAMs of the listed cores, via CP15 `RAMINDEX` from
+    /// the attacker's EL3 extraction image.
+    Caches {
+        /// Cores to extract.
+        cores: Vec<usize>,
+    },
+    /// NEON register files of the listed cores.
+    Registers {
+        /// Cores to extract.
+        cores: Vec<usize>,
+    },
+    /// The iRAM, over JTAG (the i.MX535 path).
+    IramJtag,
+    /// A raw dump of off-chip DRAM cells (the classic cold-boot /
+    /// FROST-style target) — what a transplanted or rebooted module
+    /// yields, scrambling and decay included.
+    DramRaw {
+        /// First physical address.
+        addr: u64,
+        /// Bytes to dump.
+        len: usize,
+    },
+    /// The main TLB entry RAMs of the listed cores, via `RAMINDEX` —
+    /// retained translations leak the victim's address trace even where
+    /// the data itself was evicted.
+    Tlbs {
+        /// Cores to extract.
+        cores: Vec<usize>,
+    },
+    /// The branch target buffers of the listed cores, via `RAMINDEX` —
+    /// retained branch entries leak the victim's control-flow history.
+    Btbs {
+        /// Cores to extract.
+        cores: Vec<usize>,
+    },
+}
+
+/// One extracted memory image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtractedImage {
+    /// Source label, e.g. `"core0.l1d.way1"`, `"core2.vregs"`, `"iram"`.
+    pub source: String,
+    /// The raw bits.
+    pub bits: PackedBits,
+}
+
+/// A step of the attack flow, for the outcome log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step name (identify / attach / power-cycle / reboot / extract).
+    pub step: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Everything an attack run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// The executed steps, in order.
+    pub steps: Vec<StepRecord>,
+    /// Whether the target rail was held across the cycle.
+    pub rail_held: bool,
+    /// Minimum instantaneous voltage on the target rail during the
+    /// disconnect surge, if held.
+    pub transient_min_voltage: Option<f64>,
+    /// The extracted images.
+    pub images: Vec<ExtractedImage>,
+}
+
+impl AttackOutcome {
+    /// Looks up one image by exact source name.
+    pub fn image(&self, source: &str) -> Option<&ExtractedImage> {
+        self.images.iter().find(|i| i.source == source)
+    }
+
+    /// All images whose source contains `fragment`.
+    pub fn images_matching<'a>(&'a self, fragment: &'a str) -> impl Iterator<Item = &'a ExtractedImage> {
+        self.images.iter().filter(move |i| i.source.contains(fragment))
+    }
+}
+
+/// The Volt Boot attack, configured builder-style.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltBootAttack {
+    pad: String,
+    probe: Probe,
+    cycle: PowerCycleSpec,
+    extraction: Extraction,
+    skip_reboot: bool,
+}
+
+impl VoltBootAttack {
+    /// Creates an attack against the probe point `pad`, with a 3 A bench
+    /// supply, a realistic ~500 ms room-temperature power cycle, and
+    /// cache extraction of core 0. The probe's setpoint is taken from the
+    /// pad's measured live voltage at execution time.
+    pub fn new(pad: impl Into<String>) -> Self {
+        VoltBootAttack {
+            pad: pad.into(),
+            probe: Probe::bench_supply(0.0, 3.0),
+            cycle: PowerCycleSpec::quick(),
+            extraction: Extraction::Caches { cores: vec![0] },
+            skip_reboot: false,
+        }
+    }
+
+    /// Overrides the probe (e.g. a weak source, to reproduce the droop
+    /// failure mode). The voltage setpoint is still re-measured at the
+    /// pad unless it is non-zero.
+    pub fn probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Overrides the power-cycle parameters.
+    pub fn cycle(mut self, cycle: PowerCycleSpec) -> Self {
+        self.cycle = cycle;
+        self
+    }
+
+    /// Sets what to extract.
+    pub fn extraction(mut self, extraction: Extraction) -> Self {
+        self.extraction = extraction;
+        self
+    }
+
+    /// Skips the reboot step (for devices already running an attacker
+    /// context, or when a test drives boot manually).
+    pub fn skip_reboot(mut self, skip: bool) -> Self {
+        self.skip_reboot = skip;
+        self
+    }
+
+    /// Runs the full attack flow against `soc`.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::BootDefeated`] / [`AttackError::ExtractionDenied`]
+    /// when a countermeasure stops the attack, [`AttackError::Soc`] for
+    /// device-level failures.
+    pub fn execute(&self, soc: &mut Soc) -> Result<AttackOutcome, AttackError> {
+        let mut steps = Vec::new();
+
+        // Step 1: identify the domain and measure the pad.
+        let live = soc.network().measure_pad(&self.pad).map_err(voltboot_soc::SocError::Pdn)?;
+        steps.push(StepRecord {
+            step: "identify".into(),
+            detail: format!("pad {} reads {live:.2} V", self.pad),
+        });
+
+        // Step 2: attach the probe at the measured voltage.
+        let mut probe = self.probe;
+        if probe.voltage == 0.0 {
+            probe.voltage = live;
+        }
+        soc.attach_probe(&self.pad, probe)?;
+        steps.push(StepRecord {
+            step: "attach".into(),
+            detail: format!(
+                "probe at {:.2} V, {:.1} A limit on {}",
+                probe.voltage, probe.current_limit, self.pad
+            ),
+        });
+
+        // Step 3: abrupt power cycle.
+        let report = soc.power_cycle(self.cycle)?;
+        let target_rail = soc
+            .network()
+            .probe_points()
+            .iter()
+            .find(|p| p.pad == self.pad)
+            .map(|p| p.rail.clone())
+            .expect("pad resolved during attach");
+        let rail = report.outcome.rail(&target_rail);
+        let rail_held = rail.map(|r| r.is_held()).unwrap_or(false);
+        let transient_min_voltage = rail.and_then(|r| r.transient_min_voltage());
+        steps.push(StepRecord {
+            step: "power-cycle".into(),
+            detail: match transient_min_voltage {
+                Some(v) => format!("{target_rail} held; transient minimum {v:.3} V"),
+                None => format!("{target_rail} not held"),
+            },
+        });
+
+        // Step 4: reboot into the attacker's context.
+        if !self.skip_reboot {
+            let source = if soc.boot_rom().boots_from_internal_rom {
+                BootSource::InternalRom
+            } else {
+                // The attacker's USB extraction image: unsigned.
+                BootSource::ExternalMedia {
+                    image: extraction_stub_image(),
+                    entry: 0x8_0000,
+                    signed: false,
+                }
+            };
+            let outcome = soc.boot(source)?;
+            steps.push(StepRecord {
+                step: "reboot".into(),
+                detail: format!(
+                    "entry {:#x}; l2 clobbered: {}; iram clobbered: {} bytes; mbist: {}",
+                    outcome.entry, outcome.l2_clobbered, outcome.iram_bytes_clobbered, outcome.mbist_ran
+                ),
+            });
+        }
+
+        // Step 5: extract.
+        let images = self.extract(soc)?;
+        steps.push(StepRecord {
+            step: "extract".into(),
+            detail: format!("{} images", images.len()),
+        });
+
+        Ok(AttackOutcome { steps, rail_held, transient_min_voltage, images })
+    }
+
+    fn extract(&self, soc: &Soc) -> Result<Vec<ExtractedImage>, AttackError> {
+        match &self.extraction {
+            Extraction::Caches { cores } => extract_caches(soc, cores),
+            Extraction::Registers { cores } => extract_registers(soc, cores),
+            Extraction::IramJtag => extract_iram(soc),
+            Extraction::DramRaw { addr, len } => extract_dram_raw(soc, *addr, *len),
+            Extraction::Tlbs { cores } => extract_tlbs(soc, cores),
+            Extraction::Btbs { cores } => extract_btbs(soc, cores),
+        }
+    }
+}
+
+/// Reads every way of both L1 caches of the given cores through the
+/// `RAMINDEX` debug path, beat by beat, exactly as the EL3 extraction
+/// image does (request → `DSB SY` → `ISB` → four data registers).
+pub fn extract_caches(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
+    let mut images = Vec::new();
+    for &core in cores {
+        let c = soc.core(core).map_err(|_| AttackError::BadConfiguration {
+            detail: format!("core {core} does not exist"),
+        })?;
+        for (label, ram, geometry) in [
+            ("l1d", RamId::L1DData, c.l1d.geometry()),
+            ("l1i", RamId::L1IData, c.l1i.geometry()),
+        ] {
+            let beats_per_way = geometry.sets() * geometry.line_bytes / RAMINDEX_BEAT_BYTES;
+            for way in 0..geometry.ways {
+                let mut bytes = Vec::with_capacity(geometry.sets() * geometry.line_bytes);
+                for beat in 0..beats_per_way {
+                    let words = soc.ramindex(core, ram, way as u8, beat as u32, false)?;
+                    for w in words {
+                        bytes.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                images.push(ExtractedImage {
+                    source: format!("core{core}.{label}.way{way}"),
+                    bits: PackedBits::from_bytes(&bytes),
+                });
+            }
+        }
+    }
+    Ok(images)
+}
+
+/// Reads the NEON register files of the given cores (the §7.2 target).
+pub fn extract_registers(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
+    let mut images = Vec::new();
+    for &core in cores {
+        let c = soc.core(core).map_err(|_| AttackError::BadConfiguration {
+            detail: format!("core {core} does not exist"),
+        })?;
+        let image = c.vregs.image().map_err(AttackError::from)?;
+        images.push(ExtractedImage { source: format!("core{core}.vregs"), bits: image });
+    }
+    Ok(images)
+}
+
+/// Dumps the iRAM over JTAG (the §7.3 path; no external boot media
+/// needed on the i.MX535).
+pub fn extract_iram(soc: &Soc) -> Result<Vec<ExtractedImage>, AttackError> {
+    let iram = soc.iram().ok_or(AttackError::BadConfiguration {
+        detail: "device has no iram".into(),
+    })?;
+    let bytes = soc.jtag_read(iram.base(), iram.len())?;
+    Ok(vec![ExtractedImage { source: "iram".into(), bits: PackedBits::from_bytes(&bytes) }])
+}
+
+/// Reads the main TLB entry RAM of each listed core through `RAMINDEX`,
+/// one entry word per beat.
+pub fn extract_tlbs(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
+    let mut images = Vec::new();
+    for &core in cores {
+        soc.core(core).map_err(|_| AttackError::BadConfiguration {
+            detail: format!("core {core} does not exist"),
+        })?;
+        let mut bytes = Vec::with_capacity(voltboot_soc::tlb::TLB_ENTRIES * 8);
+        for entry in 0..voltboot_soc::tlb::TLB_ENTRIES {
+            let words = soc.ramindex(core, RamId::Tlb, 0, entry as u32, false)?;
+            bytes.extend_from_slice(&words[0].to_le_bytes());
+        }
+        images.push(ExtractedImage { source: format!("core{core}.tlb"), bits: PackedBits::from_bytes(&bytes) });
+    }
+    Ok(images)
+}
+
+/// Reads the BTB entry RAM of each listed core through `RAMINDEX`.
+pub fn extract_btbs(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
+    let mut images = Vec::new();
+    for &core in cores {
+        soc.core(core).map_err(|_| AttackError::BadConfiguration {
+            detail: format!("core {core} does not exist"),
+        })?;
+        let mut bytes = Vec::with_capacity(voltboot_soc::btb::BTB_ENTRIES * 8);
+        for entry in 0..voltboot_soc::btb::BTB_ENTRIES {
+            let words = soc.ramindex(core, RamId::Btb, 0, entry as u32, false)?;
+            bytes.extend_from_slice(&words[0].to_le_bytes());
+        }
+        images.push(ExtractedImage { source: format!("core{core}.btb"), bits: PackedBits::from_bytes(&bytes) });
+    }
+    Ok(images)
+}
+
+/// Decodes `(branch_pc, target)` pairs from an extracted BTB image.
+pub fn btb_branches(image: &ExtractedImage) -> Vec<(u64, u64)> {
+    image
+        .bits
+        .to_bytes()
+        .chunks_exact(8)
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let word = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+            if word & (1 << 63) == 0 {
+                return None;
+            }
+            let tag = (word >> 38) & ((1 << 24) - 1);
+            let pc = ((tag << 6) | i as u64) << 2;
+            let target = (word & ((1 << 38) - 1)) << 2;
+            Some((pc, target))
+        })
+        .collect()
+}
+
+/// Decodes the valid page numbers from an extracted TLB image.
+pub fn tlb_pages(image: &ExtractedImage) -> Vec<u64> {
+    image
+        .bits
+        .to_bytes()
+        .chunks_exact(8)
+        .filter_map(|c| {
+            let word = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+            (word & (1 << 63) != 0).then_some(word & 0x000F_FFFF_FFFF_FFFF)
+        })
+        .collect()
+}
+
+/// Dumps raw DRAM cells — what a physical probe on the module (or a
+/// FROST-style minimal kernel) sees: post-decay, and scrambled if the
+/// controller scrambles.
+pub fn extract_dram_raw(soc: &Soc, addr: u64, len: usize) -> Result<Vec<ExtractedImage>, AttackError> {
+    let bytes = soc
+        .dram()
+        .raw_cells(addr, len)
+        .map_err(AttackError::from)?
+        .to_vec();
+    Ok(vec![ExtractedImage { source: format!("dram@{addr:#x}"), bits: PackedBits::from_bytes(&bytes) }])
+}
+
+/// A placeholder extraction image: the attacker's USB payload. Its
+/// contents never execute in the simulation (extraction runs through the
+/// host-side debug path), but it must exist, be unsigned, and load.
+fn extraction_stub_image() -> Vec<u8> {
+    voltboot_armlite::program::builders::ramindex_read(RamId::L1DData.code(), 0, 0).bytes()
+}
+
+/// The §3 baseline: a traditional cold-boot attempt — chill the board,
+/// cut power briefly, reboot, extract. No probe is attached, so survival
+/// depends entirely on the SRAM's intrinsic retention at temperature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColdBootAttack {
+    /// Ambient temperature the device was cooled to.
+    pub temperature: Temperature,
+    /// How long the board stays without power (manual re-plug).
+    pub off_millis: u64,
+    /// What to extract after reboot.
+    pub extraction: Extraction,
+}
+
+impl ColdBootAttack {
+    /// A cold boot at `celsius` with a fast (few-ms) power cycle.
+    pub fn new(celsius: f64, off_millis: u64) -> Self {
+        ColdBootAttack {
+            temperature: Temperature::from_celsius(celsius),
+            off_millis,
+            extraction: Extraction::Caches { cores: vec![0] },
+        }
+    }
+
+    /// Sets what to extract.
+    pub fn extraction(mut self, extraction: Extraction) -> Self {
+        self.extraction = extraction;
+        self
+    }
+
+    /// Runs the cold-boot flow against `soc`.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`VoltBootAttack::execute`].
+    pub fn execute(&self, soc: &mut Soc) -> Result<AttackOutcome, AttackError> {
+        let mut steps = vec![StepRecord {
+            step: "chill".into(),
+            detail: format!("device stabilized at {}", self.temperature),
+        }];
+        soc.power_cycle(PowerCycleSpec {
+            off_duration: std::time::Duration::from_millis(self.off_millis),
+            temperature: self.temperature,
+        })?;
+        steps.push(StepRecord {
+            step: "power-cycle".into(),
+            detail: format!("{} ms without power at {}", self.off_millis, self.temperature),
+        });
+        let source = if soc.boot_rom().boots_from_internal_rom {
+            BootSource::InternalRom
+        } else {
+            BootSource::ExternalMedia { image: extraction_stub_image(), entry: 0x8_0000, signed: false }
+        };
+        soc.boot(source)?;
+        steps.push(StepRecord { step: "reboot".into(), detail: "attacker media".into() });
+
+        let attack = VoltBootAttack {
+            pad: String::new(),
+            probe: Probe::bench_supply(0.0, 0.0),
+            cycle: PowerCycleSpec::quick(),
+            extraction: self.extraction.clone(),
+            skip_reboot: true,
+        };
+        let images = attack.extract(soc)?;
+        steps.push(StepRecord { step: "extract".into(), detail: format!("{} images", images.len()) });
+        Ok(AttackOutcome { steps, rail_held: false, transient_min_voltage: None, images })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltboot_armlite::program::builders;
+    use voltboot_soc::devices;
+
+    fn prepared_pi4() -> Soc {
+        let mut soc = devices::raspberry_pi_4(0xA11ACE);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(512), 0x10000, 1_000_000);
+        soc
+    }
+
+    fn nop_count(bits: &PackedBits) -> usize {
+        bits.to_bytes()
+            .chunks_exact(4)
+            .filter(|w| u32::from_le_bytes([w[0], w[1], w[2], w[3]]) == 0xD503201F)
+            .count()
+    }
+
+    #[test]
+    fn volt_boot_retains_icache_exactly() {
+        let mut soc = prepared_pi4();
+        let before = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+        let outcome = VoltBootAttack::new("TP15").execute(&mut soc).unwrap();
+        assert!(outcome.rail_held);
+        assert!(outcome.transient_min_voltage.unwrap() > 0.6);
+        let extracted = outcome.image("core0.l1i.way0").unwrap();
+        assert_eq!(extracted.bits, before, "100% accuracy: extraction == pre-cycle image");
+        assert!(nop_count(&extracted.bits) >= 256);
+        assert_eq!(outcome.steps.len(), 5);
+    }
+
+    #[test]
+    fn weak_probe_loses_cells() {
+        let mut soc = prepared_pi4();
+        let before = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+        let outcome = VoltBootAttack::new("TP15")
+            .probe(Probe::weak_source(0.0, 0.2))
+            .execute(&mut soc)
+            .unwrap();
+        assert!(outcome.rail_held);
+        assert!(outcome.transient_min_voltage.unwrap() < 0.3);
+        let extracted = outcome.image("core0.l1i.way0").unwrap();
+        let hd = extracted.bits.fractional_hamming(&before);
+        assert!(hd > 0.05, "droop below retention voltage must corrupt cells, hd={hd}");
+    }
+
+    #[test]
+    fn cold_boot_fails_at_minus_forty() {
+        let mut soc = prepared_pi4();
+        let before = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+        let outcome = ColdBootAttack::new(-40.0, 5).execute(&mut soc).unwrap();
+        assert!(!outcome.rail_held);
+        let extracted = outcome.image("core0.l1i.way0").unwrap();
+        // The sled occupied 2 KB of the 16 KB way; the rest was already
+        // power-up state, so the whole-way distance lands around
+        // (2/16)*0.5 + (14/16)*0.1 ~= 0.15. What matters: the sled is gone.
+        let hd = extracted.bits.fractional_hamming(&before);
+        assert!(hd > 0.1, "cold boot at -40C must lose the data, hd={hd}");
+        assert_eq!(nop_count(&extracted.bits), 0);
+    }
+
+    #[test]
+    fn cold_boot_partially_works_at_minus_110() {
+        let mut soc = prepared_pi4();
+        let before = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+        let outcome = ColdBootAttack::new(-110.0, 20).execute(&mut soc).unwrap();
+        let extracted = outcome.image("core0.l1i.way0").unwrap();
+        let hd = extracted.bits.fractional_hamming(&before);
+        // ~80% retention -> ~10% bit error (half the lost cells flip).
+        assert!(hd > 0.02 && hd < 0.25, "deep cold retains partially, hd={hd}");
+    }
+
+    #[test]
+    fn register_extraction_after_attack() {
+        let mut soc = devices::raspberry_pi_4(7);
+        soc.power_on_all();
+        soc.run_program(0, &builders::fill_vector_registers(), 0x10000, 10_000);
+        let outcome = VoltBootAttack::new("TP15")
+            .extraction(Extraction::Registers { cores: vec![0] })
+            .execute(&mut soc)
+            .unwrap();
+        let image = outcome.image("core0.vregs").unwrap();
+        let bytes = image.bits.to_bytes();
+        assert_eq!(&bytes[..16], &[0xFF; 16], "v0 pattern");
+        assert_eq!(&bytes[16..32], &[0xAA; 16], "v1 pattern");
+    }
+
+    #[test]
+    fn iram_extraction_on_imx() {
+        let mut soc = devices::imx53_qsb(3);
+        soc.power_on_all();
+        let base = soc.iram().unwrap().base();
+        soc.jtag_write(base + 0x8000, &[0xB1; 256]).unwrap();
+        let outcome = VoltBootAttack::new("SH13")
+            .extraction(Extraction::IramJtag)
+            .execute(&mut soc)
+            .unwrap();
+        let image = outcome.image("iram").unwrap();
+        assert_eq!(&image.bits.to_bytes()[0x8000..0x8100], &[0xB1; 256][..]);
+    }
+
+    #[test]
+    fn tlb_extraction_leaks_the_victims_address_trace() {
+        let mut soc = devices::raspberry_pi_4(0x71B);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        // The victim touches a recognizable data page.
+        let p = builders::fill_bytes(0x55_5000, 0x11, 64);
+        soc.run_program(0, &p, 0x10000, 1_000_000);
+
+        let outcome = VoltBootAttack::new("TP15")
+            .extraction(Extraction::Tlbs { cores: vec![0] })
+            .execute(&mut soc)
+            .unwrap();
+        let image = outcome.image("core0.tlb").unwrap();
+        let pages = crate::attack::tlb_pages(image);
+        assert!(pages.contains(&0x555), "victim data page must appear: {pages:x?}");
+        assert!(pages.contains(&0x10), "victim code page must appear: {pages:x?}");
+    }
+
+    #[test]
+    fn btb_extraction_leaks_control_flow_history() {
+        let mut soc = devices::raspberry_pi_4(0xB7B);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        // A victim with a loop: the backward branch lands in the BTB.
+        let p = builders::fill_bytes(0x20_0000, 0x22, 256);
+        soc.run_program(0, &p, 0x10000, 1_000_000);
+
+        let outcome = VoltBootAttack::new("TP15")
+            .extraction(Extraction::Btbs { cores: vec![0] })
+            .execute(&mut soc)
+            .unwrap();
+        let branches = crate::attack::btb_branches(outcome.image("core0.btb").unwrap());
+        // The fill loop's cbnz branches backwards within the program.
+        assert!(
+            branches.iter().any(|&(pc, target)| pc > target
+                && (0x10000..0x10100).contains(&pc)
+                && (0x10000..0x10100).contains(&target)),
+            "expected the victim's loop branch: {branches:x?}"
+        );
+    }
+
+    #[test]
+    fn tlb_trace_is_gone_after_plain_reboot() {
+        let mut soc = devices::raspberry_pi_4(0x71C);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        let p = builders::fill_bytes(0x55_5000, 0x11, 64);
+        soc.run_program(0, &p, 0x10000, 1_000_000);
+        let cold = ColdBootAttack::new(-40.0, 5)
+            .extraction(Extraction::Tlbs { cores: vec![0] })
+            .execute(&mut soc)
+            .unwrap();
+        let pages = crate::attack::tlb_pages(cold.image("core0.tlb").unwrap());
+        assert!(!pages.contains(&0x555), "trace must not survive: {pages:x?}");
+    }
+
+    #[test]
+    fn authenticated_boot_defeats_the_attack() {
+        let mut soc = prepared_pi4();
+        let mut policy = soc.policy();
+        policy.mandated_authenticated_boot = true;
+        soc.set_policy(policy);
+        let err = VoltBootAttack::new("TP15").execute(&mut soc).unwrap_err();
+        assert!(matches!(err, AttackError::BootDefeated { .. }));
+    }
+
+    #[test]
+    fn bad_core_is_a_configuration_error() {
+        let mut soc = prepared_pi4();
+        let err = VoltBootAttack::new("TP15")
+            .extraction(Extraction::Caches { cores: vec![9] })
+            .execute(&mut soc)
+            .unwrap_err();
+        assert!(matches!(err, AttackError::BadConfiguration { .. }));
+    }
+
+    #[test]
+    fn iram_extraction_on_pi_is_a_configuration_error() {
+        let mut soc = prepared_pi4();
+        let err = VoltBootAttack::new("TP15")
+            .extraction(Extraction::IramJtag)
+            .execute(&mut soc)
+            .unwrap_err();
+        assert!(matches!(err, AttackError::BadConfiguration { .. }));
+    }
+}

@@ -1,0 +1,281 @@
+//! Halderman-style key recovery from *decayed DRAM* images.
+//!
+//! This is the algorithm the original cold-boot paper made famous, and
+//! the algorithm the Volt Boot paper explains will **not** transfer to
+//! SRAM (§5.1): DRAM decay is *directional* — an unrefreshed cell drifts
+//! toward its known ground state — so a bit that still reads "charged"
+//! is trustworthy and a bit that reads "ground" may have decayed. That
+//! asymmetry turns key reconstruction into a small search. SRAM cells
+//! are bistable: a lost cell resolves to an arbitrary power-up value, no
+//! direction exists, and the search space explodes.
+//!
+//! The implementation here is a compact version of the idea for AES-128
+//! key schedules: scan the image for schedule-shaped windows, treat
+//! ground-state bits as "possibly decayed", and repair up to
+//! [`MAX_REPAIR_BITS`] decayed key bits by searching candidates whose
+//! re-expanded schedule is decay-consistent with every observed byte.
+
+use voltboot_crypto::aes::{Aes, AesKey, KeySchedule};
+use voltboot_sram::PackedBits;
+
+/// Maximum number of decayed key bits the repair search will flip back.
+/// (0, 1, and 2-bit repairs: ~8k candidates per window.)
+pub const MAX_REPAIR_BITS: usize = 2;
+
+/// Byte length of an AES-128 schedule.
+const SCHED_LEN: usize = 176;
+
+/// The decay polarity of a region: which value cells drift toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroundState {
+    /// Cells decay toward 0 ("true cells").
+    Zero,
+    /// Cells decay toward 1 ("anti cells").
+    One,
+}
+
+impl GroundState {
+    /// Whether an observed byte could have decayed from `original`.
+    ///
+    /// With ground 0, decay clears bits: `observed` must be a submask of
+    /// `original`. With ground 1, decay sets bits.
+    pub fn consistent(self, original: u8, observed: u8) -> bool {
+        match self {
+            GroundState::Zero => observed & !original == 0,
+            GroundState::One => !observed & original == 0,
+        }
+    }
+
+    /// Bits of `observed` that may have decayed (read as ground state).
+    pub fn repairable_mask(self, observed: u8) -> u8 {
+        match self {
+            GroundState::Zero => !observed,
+            GroundState::One => observed,
+        }
+    }
+}
+
+/// One recovered key with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredKey {
+    /// Byte offset of the schedule window in the image.
+    pub offset: usize,
+    /// Number of key bits the search repaired.
+    pub repaired_bits: usize,
+    /// The reconstructed cipher.
+    pub schedule: KeySchedule,
+}
+
+/// Scans a decayed DRAM image for AES-128 key schedules, repairing up to
+/// [`MAX_REPAIR_BITS`] decayed bits in the key itself.
+///
+/// `ground` is the region's decay polarity (real attacks determine it
+/// per block; callers slice the image accordingly).
+pub fn recover_aes128_keys(image: &PackedBits, ground: GroundState) -> Vec<RecoveredKey> {
+    let bytes = image.to_bytes();
+    if bytes.len() < SCHED_LEN {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for offset in (0..=bytes.len() - SCHED_LEN).step_by(4) {
+        let window = &bytes[offset..offset + SCHED_LEN];
+        if let Some(rec) = try_window(window, ground) {
+            out.push(RecoveredKey { offset, repaired_bits: rec.1, schedule: rec.0 });
+        }
+    }
+    out
+}
+
+/// Pre-filter: a plausible decayed schedule window still has most of its
+/// expansion relations intact in the "charged" direction. We check that
+/// every word relation is decay-consistent before paying for repair.
+fn window_plausible(window: &[u8], ground: GroundState) -> bool {
+    // Quick structural check: the window must not be all-ground (fully
+    // decayed or empty memory).
+    let interesting = window.iter().filter(|&&b| match ground {
+        GroundState::Zero => b != 0,
+        GroundState::One => b != 0xFF,
+    });
+    interesting.count() > SCHED_LEN / 4
+}
+
+fn try_window(window: &[u8], ground: GroundState) -> Option<(KeySchedule, usize)> {
+    if !window_plausible(window, ground) {
+        return None;
+    }
+    let observed_key: [u8; 16] = window[..16].try_into().expect("16 bytes");
+
+    // Candidate 0: the key survived untouched.
+    if let Some(ks) = validate(&observed_key, window, ground) {
+        return Some((ks, 0));
+    }
+    if MAX_REPAIR_BITS == 0 {
+        return None;
+    }
+
+    // Single-bit repairs over the repairable positions.
+    let mut repairable: Vec<(usize, u8)> = Vec::new();
+    for (i, &b) in observed_key.iter().enumerate() {
+        let mask = ground.repairable_mask(b);
+        for bit in 0..8 {
+            if mask & (1 << bit) != 0 {
+                repairable.push((i, bit));
+            }
+        }
+    }
+    for &(i, bit) in &repairable {
+        let mut candidate = observed_key;
+        flip(&mut candidate, i, bit, ground);
+        if let Some(ks) = validate(&candidate, window, ground) {
+            return Some((ks, 1));
+        }
+    }
+    if MAX_REPAIR_BITS < 2 {
+        return None;
+    }
+    for (a, &(i, bi)) in repairable.iter().enumerate() {
+        for &(j, bj) in &repairable[a + 1..] {
+            let mut candidate = observed_key;
+            flip(&mut candidate, i, bi, ground);
+            flip(&mut candidate, j, bj, ground);
+            if let Some(ks) = validate(&candidate, window, ground) {
+                return Some((ks, 2));
+            }
+        }
+    }
+    None
+}
+
+fn flip(key: &mut [u8; 16], byte: usize, bit: u8, ground: GroundState) {
+    match ground {
+        GroundState::Zero => key[byte] |= 1 << bit,
+        GroundState::One => key[byte] &= !(1 << bit),
+    }
+}
+
+/// Re-expands `candidate` and accepts it iff every observed schedule
+/// byte is decay-consistent with the re-expansion, with a meaningful
+/// fraction still fully intact (guards against the all-ground window).
+fn validate(candidate: &[u8; 16], window: &[u8], ground: GroundState) -> Option<KeySchedule> {
+    let schedule = KeySchedule::expand(&AesKey::Aes128(*candidate));
+    let expanded = schedule.to_bytes();
+    let mut exact = 0usize;
+    for (o, e) in window.iter().zip(&expanded) {
+        if !ground.consistent(*e, *o) {
+            return None;
+        }
+        if o == e {
+            exact += 1;
+        }
+    }
+    (exact * 2 >= SCHED_LEN).then_some(schedule)
+}
+
+/// Convenience: recover and verify against a known-plaintext check.
+pub fn recover_and_verify(
+    image: &PackedBits,
+    ground: GroundState,
+    verify: impl Fn(&Aes) -> bool,
+) -> Option<RecoveredKey> {
+    recover_aes128_keys(image, ground)
+        .into_iter()
+        .find(|rec| verify(&Aes::from_schedule(rec.schedule.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decayed_schedule_image(key: [u8; 16], flips: &[(usize, u8)]) -> PackedBits {
+        // A schedule embedded in zeroed (ground-state) memory, with the
+        // given (byte, bit) positions decayed to 0.
+        let schedule = KeySchedule::expand(&AesKey::Aes128(key));
+        let mut bytes = vec![0u8; 64];
+        bytes.extend(schedule.to_bytes());
+        bytes.extend(vec![0u8; 64]);
+        for &(byte, bit) in flips {
+            bytes[64 + byte] &= !(1 << bit);
+        }
+        PackedBits::from_bytes(&bytes)
+    }
+
+    #[test]
+    fn intact_schedule_recovers_with_zero_repairs() {
+        let key = *b"cold boot aes128";
+        let image = decayed_schedule_image(key, &[]);
+        let found = recover_aes128_keys(&image, GroundState::Zero);
+        assert!(found.iter().any(|r| r.repaired_bits == 0 && r.schedule.original_key().bytes() == key));
+    }
+
+    #[test]
+    fn decay_outside_the_key_is_tolerated() {
+        let key = *b"cold boot aes128";
+        // Decay several bits in later round keys (offsets >= 16).
+        let image = decayed_schedule_image(key, &[(20, 3), (50, 7), (100, 1), (160, 4)]);
+        let found = recover_aes128_keys(&image, GroundState::Zero);
+        assert!(found.iter().any(|r| r.schedule.original_key().bytes() == key));
+    }
+
+    #[test]
+    fn one_decayed_key_bit_is_repaired() {
+        let key = [0xFFu8; 16];
+        let image = decayed_schedule_image(key, &[(5, 2), (90, 6)]);
+        let found = recover_aes128_keys(&image, GroundState::Zero);
+        let hit = found.iter().find(|r| r.schedule.original_key().bytes() == key).unwrap();
+        assert_eq!(hit.repaired_bits, 1);
+    }
+
+    #[test]
+    fn two_decayed_key_bits_are_repaired() {
+        let key = [0xFFu8; 16];
+        let image = decayed_schedule_image(key, &[(2, 0), (11, 7), (130, 2)]);
+        let found = recover_aes128_keys(&image, GroundState::Zero);
+        let hit = found.iter().find(|r| r.schedule.original_key().bytes() == key).unwrap();
+        assert_eq!(hit.repaired_bits, 2);
+    }
+
+    #[test]
+    fn wrong_direction_errors_are_rejected() {
+        // A bit that flipped 0 -> 1 contradicts ground-zero decay; the
+        // window must not validate as that candidate.
+        let key = *b"0123456789abcdef";
+        let schedule = KeySchedule::expand(&AesKey::Aes128(key));
+        let mut bytes = schedule.to_bytes();
+        // Set a bit that is currently clear somewhere past the key: a
+        // 0 -> 1 flip contradicts ground-zero decay.
+        let (idx, bit) = (16..bytes.len())
+            .find_map(|i| (0..8).find(|&b| bytes[i] & (1 << b) == 0).map(|b| (i, b)))
+            .expect("some clear bit exists");
+        bytes[idx] |= 1 << bit;
+        let image = PackedBits::from_bytes(&bytes);
+        let found = recover_aes128_keys(&image, GroundState::Zero);
+        assert!(found.iter().all(|r| r.schedule.original_key().bytes() != key));
+    }
+
+    #[test]
+    fn anti_cell_polarity_works_too() {
+        let key = *b"anti-cell-ground";
+        let schedule = KeySchedule::expand(&AesKey::Aes128(key));
+        let mut bytes = vec![0xFFu8; 32];
+        bytes.extend(schedule.to_bytes());
+        // One key bit decays toward 1.
+        bytes[32 + 7] |= 0x01;
+        let had_bit = KeySchedule::expand(&AesKey::Aes128(key)).to_bytes()[7] & 0x01 != 0;
+        let image = PackedBits::from_bytes(&bytes);
+        let found = recover_aes128_keys(&image, GroundState::One);
+        let hit = found.iter().find(|r| r.schedule.original_key().bytes() == key);
+        assert!(hit.is_some(), "anti-cell recovery failed");
+        if !had_bit {
+            assert_eq!(hit.unwrap().repaired_bits, 1);
+        }
+    }
+
+    #[test]
+    fn ground_state_consistency_rules() {
+        assert!(GroundState::Zero.consistent(0b1010, 0b1010));
+        assert!(GroundState::Zero.consistent(0b1010, 0b0010));
+        assert!(!GroundState::Zero.consistent(0b1010, 0b1110));
+        assert!(GroundState::One.consistent(0b1010, 0b1011));
+        assert!(!GroundState::One.consistent(0b1010, 0b0010));
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for attack orchestration.
+
+use std::error::Error;
+use std::fmt;
+use voltboot_soc::SocError;
+
+/// Error returned by attack execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A lower layer (SoC, SRAM, PDN) failed.
+    Soc(SocError),
+    /// The victim refused to boot the attacker's image (e.g. mandated
+    /// authenticated boot) — the attack is defeated at the reboot step.
+    BootDefeated {
+        /// The boot ROM's reason.
+        reason: String,
+    },
+    /// The extraction interface was unavailable or denied (no JTAG,
+    /// TrustZone enforcement).
+    ExtractionDenied {
+        /// What was denied.
+        detail: String,
+    },
+    /// The attack configuration does not fit the device (e.g. cache
+    /// extraction requested for a core that does not exist).
+    BadConfiguration {
+        /// What is wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Soc(e) => write!(f, "device error: {e}"),
+            AttackError::BootDefeated { reason } => write!(f, "boot defeated the attack: {reason}"),
+            AttackError::ExtractionDenied { detail } => write!(f, "extraction denied: {detail}"),
+            AttackError::BadConfiguration { detail } => write!(f, "bad attack configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SocError> for AttackError {
+    fn from(e: SocError) -> Self {
+        match e {
+            SocError::BootRejected { reason } => AttackError::BootDefeated { reason },
+            SocError::NoJtag => {
+                AttackError::ExtractionDenied { detail: "device has no jtag port".into() }
+            }
+            SocError::TrustZoneViolation => {
+                AttackError::ExtractionDenied { detail: "trustzone enforcement".into() }
+            }
+            other => AttackError::Soc(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_classify_defeats() {
+        let e: AttackError = SocError::BootRejected { reason: "signed boot".into() }.into();
+        assert!(matches!(e, AttackError::BootDefeated { .. }));
+        let e: AttackError = SocError::NoJtag.into();
+        assert!(matches!(e, AttackError::ExtractionDenied { .. }));
+        let e: AttackError = SocError::TrustZoneViolation.into();
+        assert!(matches!(e, AttackError::ExtractionDenied { .. }));
+        let e: AttackError = SocError::NoIram.into();
+        assert!(matches!(e, AttackError::Soc(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each submodule runs one experiment end-to-end on the simulated
+//! hardware and returns a typed result; the `voltboot-bench` crate's
+//! `repro_*` binaries print them in the paper's layout, and
+//! `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! | Module      | Reproduces |
+//! |-------------|------------|
+//! | [`table1`]  | Table 1 — cold-boot error vs temperature on BCM2711 |
+//! | [`fig3`]    | Figure 3 — d-cache snapshot after a cold boot |
+//! | [`table4`]  | Table 4 — d-cache extraction vs array size under Linux |
+//! | [`fig7`]    | Figure 7 — i-cache retention for bare-metal victims |
+//! | [`fig8`]    | Figure 8 — cache snapshots under an OS |
+//! | [`fig9_10`] | Figures 9 & 10 — iRAM bitmap extraction and error map |
+//! | [`sec62`]   | §6.2 — SRAM accessible to an attacker after boot |
+//! | [`sec72`]   | §7.2 — vector-register retention |
+//! | [`sec8`]    | §8 — countermeasure effectiveness matrix |
+//! | [`keytheft`]| §1/§2 motivation — end-to-end FDE key theft |
+
+pub mod ablations;
+pub mod dram_baseline;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9_10;
+pub mod generality;
+pub mod keytheft;
+pub mod sec62;
+pub mod sec72;
+pub mod sec8;
+pub mod table1;
+pub mod table4;

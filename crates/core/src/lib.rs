@@ -1,0 +1,71 @@
+//! # Volt Boot — an ASPLOS 2022 reproduction
+//!
+//! This crate is the top of the reproduction stack for *SRAM Has No
+//! Chill: Exploiting Power Domain Separation to Steal On-Chip Secrets*
+//! (Mahmod & Hicks, ASPLOS 2022). It orchestrates the attack the paper
+//! introduces — and the cold-boot baseline it contrasts against — on the
+//! simulated hardware provided by the substrate crates:
+//!
+//! * [`voltboot_sram`] — per-cell SRAM physics (retention voltage,
+//!   leakage decay, power-up state);
+//! * [`voltboot_pdn`] — the board's power-delivery network, probe points,
+//!   and disconnect transients;
+//! * [`voltboot_armlite`] — a small aarch64-flavoured CPU that runs the
+//!   victim and extraction software;
+//! * [`voltboot_soc`] — the three evaluation platforms (Raspberry Pi 4,
+//!   Raspberry Pi 3, i.MX53 QSB) with SRAM-backed caches, registers, and
+//!   iRAM;
+//! * [`voltboot_crypto`] — from-scratch AES plus the TRESOR/CaSE-style
+//!   on-chip key-storage schemes the attack defeats.
+//!
+//! ## The attack in one example
+//!
+//! ```rust
+//! use voltboot::attack::{Extraction, VoltBootAttack};
+//! use voltboot_pdn::Probe;
+//! use voltboot_soc::devices;
+//! use voltboot_armlite::program::builders;
+//!
+//! // A Raspberry Pi 4 victim running a bare-metal NOP sled (paper §7.1.1).
+//! let mut soc = devices::raspberry_pi_4(0xFEED);
+//! soc.power_on_all();
+//! soc.enable_caches(0);
+//! soc.run_program(0, &builders::nop_sled(1024), 0x10000, 1_000_000);
+//!
+//! // Attach a bench supply at TP15 and power-cycle the board.
+//! let attack = VoltBootAttack::new("TP15")
+//!     .probe(Probe::bench_supply(0.8, 3.0))
+//!     .extraction(Extraction::Caches { cores: vec![0] });
+//! let outcome = attack.execute(&mut soc).unwrap();
+//! assert!(outcome.rail_held);
+//!
+//! // The NOP sled is in the extracted i-cache image, bit-exact.
+//! let image = outcome.image("core0.l1i.way0").unwrap();
+//! let nops = image
+//!     .bits
+//!     .to_bytes()
+//!     .chunks_exact(4)
+//!     .filter(|w| u32::from_le_bytes([w[0], w[1], w[2], w[3]]) == 0xD503201F)
+//!     .count();
+//! assert!(nops >= 1024);
+//! ```
+//!
+//! The [`experiments`] module regenerates every table and figure in the
+//! paper's evaluation; `EXPERIMENTS.md` in the repository root records
+//! paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod attack;
+pub mod countermeasures;
+pub mod dram_recovery;
+pub mod error;
+pub mod experiments;
+pub mod os_noise;
+pub mod report;
+pub mod workloads;
+
+pub use attack::{AttackOutcome, ColdBootAttack, Extraction, ExtractedImage, VoltBootAttack};
+pub use error::AttackError;

@@ -1,0 +1,324 @@
+//! Victim workloads: the software running on the device when the
+//! attacker strikes.
+//!
+//! Each workload mirrors one of the paper's victim scenarios:
+//!
+//! * [`baremetal_nop_fill`] — §7.1.1's bare-metal program that enables
+//!   the caches and executes NOPs on every core;
+//! * [`os_pattern_app`] — §7.1.2's Linux application storing `0xAA` into
+//!   a large data structure, with background OS noise;
+//! * [`microbenchmark_array`] — Table 4's variable-size array benchmark,
+//!   one process per core, interleaved with OS noise;
+//! * [`register_fill`] — §7.2's vector-register fill;
+//! * [`iram_bitmap`] — §7.3's four copies of a 512×512 bitmap in iRAM;
+//! * [`test_bitmap`] — the recognizable bitmap itself.
+
+use crate::os_noise::OsNoise;
+use voltboot_armlite::program::builders;
+use voltboot_armlite::RunExit;
+use voltboot_soc::{Soc, SocError};
+use voltboot_sram::PackedBits;
+
+/// Physical address victims load their code at.
+pub const VICTIM_CODE_ADDR: u64 = 0x8_0000;
+/// Physical address of the victim's data buffer.
+pub const VICTIM_DATA_ADDR: u64 = 0x10_0000;
+/// The Table 4 element-pattern seed (`elem(i) = (seed << 48) | i`).
+pub const ARRAY_SEED: u16 = 0x51AB;
+
+/// Runs the §7.1.1 bare-metal victim: enables caches and runs a NOP sled
+/// sized to one i-cache way on every core.
+///
+/// # Errors
+///
+/// Fails if any core's program does not halt cleanly.
+pub fn baremetal_nop_fill(soc: &mut Soc) -> Result<(), SocError> {
+    let sled_words = {
+        let g = soc.core(0)?.l1i.geometry();
+        g.sets() * g.line_bytes / 4
+    };
+    for core in 0..soc.core_count() {
+        soc.enable_caches(core);
+        let exit = soc.run_program(
+            core,
+            &builders::nop_sled(sled_words - 1),
+            VICTIM_CODE_ADDR,
+            (sled_words as u64) * 4,
+        );
+        if !matches!(exit, RunExit::Halted(0)) {
+            return Err(SocError::BootRejected { reason: format!("victim on core {core}: {exit:?}") });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the §7.1.2 victim: a user application storing `pattern` into a
+/// `bytes`-sized structure under a running OS (noise interleaved).
+///
+/// # Errors
+///
+/// Fails if the victim program faults.
+pub fn os_pattern_app(
+    soc: &mut Soc,
+    core: usize,
+    pattern: u8,
+    bytes: u32,
+    noise: &mut OsNoise,
+) -> Result<(), SocError> {
+    soc.enable_caches(core);
+    let program = builders::fill_bytes(VICTIM_DATA_ADDR, pattern, bytes);
+    run_with_noise(soc, core, &program, noise, 6)
+}
+
+/// Runs one Table 4 microbenchmark process on `core`: an array of
+/// `count` 8-byte elements loaded through the d-cache, with OS noise.
+///
+/// # Errors
+///
+/// Fails if the victim program faults.
+pub fn microbenchmark_array(
+    soc: &mut Soc,
+    core: usize,
+    count: u32,
+    noise: &mut OsNoise,
+) -> Result<(), SocError> {
+    soc.enable_caches(core);
+    let program = builders::fill_words(VICTIM_DATA_ADDR + (core as u64) * 0x4_0000, ARRAY_SEED, count);
+    run_with_noise(soc, core, &program, noise, 6)
+}
+
+/// Runs the §7.2 victim: fills `v0..v31` with `0xFF`/`0xAA` patterns.
+///
+/// # Errors
+///
+/// Fails if the victim program faults.
+pub fn register_fill(soc: &mut Soc, core: usize) -> Result<(), SocError> {
+    let exit = soc.run_program(core, &builders::fill_vector_registers(), VICTIM_CODE_ADDR, 10_000);
+    if !matches!(exit, RunExit::Halted(0)) {
+        return Err(SocError::BootRejected { reason: format!("register fill: {exit:?}") });
+    }
+    Ok(())
+}
+
+/// Writes four copies of the 512×512 test bitmap into the device's iRAM
+/// over JTAG (as the paper stages its §7.3 experiment).
+///
+/// # Errors
+///
+/// [`SocError::NoIram`] on devices without iRAM, or JTAG failures.
+pub fn iram_bitmap(soc: &mut Soc) -> Result<PackedBits, SocError> {
+    let bitmap = test_bitmap();
+    let bytes = bitmap.to_bytes();
+    let (base, len) = {
+        let iram = soc.iram().ok_or(SocError::NoIram)?;
+        (iram.base(), iram.len())
+    };
+    let copies = len / bytes.len();
+    let mut reference = Vec::with_capacity(len);
+    for c in 0..copies {
+        soc.jtag_write(base + (c * bytes.len()) as u64, &bytes)?;
+        reference.extend_from_slice(&bytes);
+    }
+    reference.resize(len, 0);
+    let remainder = len - copies * bytes.len();
+    if remainder > 0 {
+        soc.jtag_write(base + (copies * bytes.len()) as u64, &vec![0u8; remainder])?;
+    }
+    Ok(PackedBits::from_bytes(&reference))
+}
+
+/// A recognizable 512×512 1-bit test image (32 KB): concentric circles
+/// over a checkerboard quadrant, so clobbered regions are visually
+/// obvious in rendered dumps.
+pub fn test_bitmap() -> PackedBits {
+    let mut bits = PackedBits::zeros(512 * 512);
+    for y in 0..512i64 {
+        for x in 0..512i64 {
+            let dx = x - 256;
+            let dy = y - 256;
+            let r2 = dx * dx + dy * dy;
+            let ring = (((r2 as f64).sqrt() / 24.0) as i64) % 2 == 0 && r2 < 240 * 240;
+            let checker = (x / 32 + y / 32) % 2 == 0 && r2 >= 240 * 240;
+            if ring || checker {
+                bits.set((y * 512 + x) as usize, true);
+            }
+        }
+    }
+    bits
+}
+
+/// Assembles and runs victim software written as assembly text — the
+/// paper's "we write the software in assembly (i.e., aarch64)" staging
+/// path (§7.1.1). Returns an error naming the offending source line on
+/// assembly failure.
+///
+/// # Errors
+///
+/// Assembly errors or a non-clean victim exit.
+pub fn run_asm_victim(soc: &mut Soc, core: usize, source: &str) -> Result<(), SocError> {
+    let program = voltboot_armlite::asm::assemble(source)
+        .map_err(|e| SocError::BootRejected { reason: format!("victim assembly: {e}") })?;
+    soc.enable_caches(core);
+    let exit = soc.run_program(core, &program, VICTIM_CODE_ADDR, 50_000_000);
+    if !matches!(exit, RunExit::Halted(0)) {
+        return Err(SocError::BootRejected { reason: format!("asm victim: {exit:?}") });
+    }
+    Ok(())
+}
+
+/// Runs `program` on `core` in slices, injecting `noise_per_slice` OS
+/// noise events between slices — the "victim under a live OS" execution
+/// mode.
+fn run_with_noise(
+    soc: &mut Soc,
+    core: usize,
+    program: &voltboot_armlite::Program,
+    noise: &mut OsNoise,
+    noise_per_slice: usize,
+) -> Result<(), SocError> {
+    if soc.dram_mut().write(VICTIM_CODE_ADDR, &program.bytes()).is_err() {
+        return Err(SocError::Unmapped { addr: VICTIM_CODE_ADDR });
+    }
+    soc.core_mut(core)?.cpu.set_pc(VICTIM_CODE_ADDR);
+    const SLICE_STEPS: u64 = 2048;
+    for _ in 0..100_000 {
+        match soc.run_core(core, SLICE_STEPS) {
+            RunExit::Halted(0) => {
+                // Trailing noise: the OS keeps running after the victim.
+                noise.inject(soc, core, noise_per_slice)?;
+                return Ok(());
+            }
+            RunExit::MaxSteps => {
+                noise.inject(soc, core, noise_per_slice)?;
+            }
+            other => {
+                return Err(SocError::BootRejected { reason: format!("victim faulted: {other:?}") })
+            }
+        }
+    }
+    Err(SocError::BootRejected { reason: "victim did not terminate".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltboot_soc::devices;
+
+    #[test]
+    fn baremetal_fills_icache_of_all_cores() {
+        let mut soc = devices::raspberry_pi_4(11);
+        soc.power_on_all();
+        baremetal_nop_fill(&mut soc).unwrap();
+        for core in 0..4 {
+            let image = soc.core(core).unwrap().l1i.way_image(0).unwrap();
+            let nops = crate::analysis::count_pattern(&image, &0xD503201Fu32.to_le_bytes());
+            assert!(nops > 3000, "core {core}: {nops} NOPs in way 0");
+        }
+    }
+
+    #[test]
+    fn pattern_app_lands_in_dcache() {
+        let mut soc = devices::raspberry_pi_4(12);
+        soc.power_on_all();
+        let mut noise = OsNoise::new(1);
+        os_pattern_app(&mut soc, 0, 0xAA, 8 * 1024, &mut noise).unwrap();
+        let total: usize = (0..2)
+            .map(|w| {
+                let img = soc.core(0).unwrap().l1d.way_image(w).unwrap();
+                img.to_bytes().iter().filter(|&&b| b == 0xAA).count()
+            })
+            .sum();
+        assert!(total >= 7000, "0xAA bytes cached: {total}");
+    }
+
+    #[test]
+    fn microbenchmark_array_elements_cached() {
+        let mut soc = devices::raspberry_pi_4(13);
+        soc.power_on_all();
+        let mut noise = OsNoise::new(2);
+        microbenchmark_array(&mut soc, 0, 512, &mut noise).unwrap();
+        let w0 = soc.core(0).unwrap().l1d.way_image(0).unwrap();
+        let w1 = soc.core(0).unwrap().l1d.way_image(1).unwrap();
+        let (_, _, union) = crate::analysis::table4_counts(&w0, &w1, ARRAY_SEED, 512);
+        assert!(union >= 500, "4KB array should be (nearly) fully cached: {union}");
+    }
+
+    #[test]
+    fn register_fill_sets_patterns() {
+        let mut soc = devices::raspberry_pi_4(14);
+        soc.power_on_all();
+        register_fill(&mut soc, 2).unwrap();
+        assert_eq!(soc.core(2).unwrap().cpu.v(0), [u64::MAX; 2]);
+    }
+
+    #[test]
+    fn bitmap_has_structure() {
+        let bmp = test_bitmap();
+        let frac = bmp.ones_fraction();
+        assert!(frac > 0.2 && frac < 0.8, "ones fraction {frac}");
+        assert_eq!(bmp.len(), 512 * 512);
+    }
+
+    #[test]
+    fn iram_bitmap_fills_imx_iram() {
+        let mut soc = devices::imx53_qsb(15);
+        soc.power_on_all();
+        let reference = iram_bitmap(&mut soc).unwrap();
+        assert_eq!(reference.len(), 128 * 1024 * 8);
+        let image = soc.iram().unwrap().image().unwrap();
+        assert_eq!(image, reference);
+    }
+
+    #[test]
+    fn asm_text_victim_runs_and_caches_its_stores() {
+        let mut soc = devices::raspberry_pi_4(17);
+        soc.power_on_all();
+        run_asm_victim(
+            &mut soc,
+            0,
+            r#"
+                // Store a marker pattern through the d-cache.
+                movz x0, #0x7E
+                movz x1, #0x0000
+                movk x1, #0x0030, lsl #16   // x1 = 0x30_0000
+                movz x2, #512
+            fill:
+                strb x0, [x1]
+                add  x1, x1, #1
+                sub  x2, x2, #1
+                cbnz x2, fill
+                hlt  #0
+            "#,
+        )
+        .unwrap();
+        let count: usize = (0..2)
+            .map(|w| {
+                soc.core(0)
+                    .unwrap()
+                    .l1d
+                    .way_image(w)
+                    .unwrap()
+                    .to_bytes()
+                    .iter()
+                    .filter(|&&b| b == 0x7E)
+                    .count()
+            })
+            .sum();
+        assert!(count >= 512, "marker bytes cached: {count}");
+    }
+
+    #[test]
+    fn asm_victim_reports_source_errors() {
+        let mut soc = devices::raspberry_pi_4(18);
+        soc.power_on_all();
+        let err = run_asm_victim(&mut soc, 0, "nop\nbogus x1\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn iram_bitmap_fails_on_pi() {
+        let mut soc = devices::raspberry_pi_4(16);
+        soc.power_on_all();
+        assert!(matches!(iram_bitmap(&mut soc), Err(SocError::NoIram)));
+    }
+}

@@ -1,0 +1,208 @@
+//! A toy full-disk-encryption victim.
+//!
+//! The end-to-end story the paper opens with: non-volatile storage is
+//! encrypted (BitLocker/VeraCrypt-style), so a lost or stolen device only
+//! leaks data if the attacker can reach the *volatile* copy of the key.
+//! On-chip schemes hide that copy in SRAM; Volt Boot retrieves it.
+//!
+//! [`EncryptedDisk`] is a minimal sector-based AES-CTR container with a
+//! password-derived key, good enough to demonstrate: unlock → key
+//! schedule on-chip → attack → decrypt the disk offline with the stolen
+//! schedule.
+
+use crate::aes::{Aes, AesKey};
+use std::error::Error;
+use std::fmt;
+
+/// Error for disk operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdeError {
+    /// A sector index was past the end of the disk.
+    SectorOutOfRange {
+        /// The offending sector index.
+        sector: u64,
+    },
+    /// The supplied password failed verification.
+    WrongPassword,
+}
+
+impl fmt::Display for FdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdeError::SectorOutOfRange { sector } => write!(f, "sector {sector} out of range"),
+            FdeError::WrongPassword => write!(f, "password verification failed"),
+        }
+    }
+}
+
+impl Error for FdeError {}
+
+/// Sector size in bytes.
+pub const SECTOR_BYTES: usize = 512;
+
+/// A password-locked, sector-encrypted disk image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedDisk {
+    sectors: Vec<[u8; SECTOR_BYTES]>,
+    /// Verifier: encryption of a fixed block under the disk key.
+    verifier: [u8; 16],
+    salt: u64,
+}
+
+/// Derives the disk key from a password (a deliberately simple KDF: the
+/// security of the KDF is out of scope; the attack steals the *derived*
+/// key from SRAM after legitimate unlock).
+pub fn derive_key(password: &str, salt: u64) -> AesKey {
+    let mut state = [0u8; 16];
+    let mut acc = salt;
+    for (i, b) in password.bytes().cycle().take(4096).enumerate() {
+        acc = acc
+            .rotate_left(7)
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(b as u64 + i as u64);
+        state[i % 16] ^= (acc >> 32) as u8;
+    }
+    AesKey::Aes128(state)
+}
+
+const VERIFIER_BLOCK: [u8; 16] = *b"voltboot-fde-v1\0";
+
+impl EncryptedDisk {
+    /// Creates a disk of `sector_count` zeroed sectors locked to
+    /// `password`.
+    pub fn create(password: &str, salt: u64, sector_count: usize) -> Self {
+        let key = derive_key(password, salt);
+        let verifier = Aes::new(&key).encrypt_block(&VERIFIER_BLOCK);
+        EncryptedDisk { sectors: vec![[0; SECTOR_BYTES]; sector_count], verifier, salt }
+    }
+
+    /// Number of sectors.
+    pub fn sector_count(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// The KDF salt (stored in the clear, as real containers do).
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Unlocks with a password, returning the cipher on success.
+    ///
+    /// # Errors
+    ///
+    /// [`FdeError::WrongPassword`].
+    pub fn unlock(&self, password: &str) -> Result<Aes, FdeError> {
+        let key = derive_key(password, self.salt);
+        let aes = Aes::new(&key);
+        if aes.encrypt_block(&VERIFIER_BLOCK) != self.verifier {
+            return Err(FdeError::WrongPassword);
+        }
+        Ok(aes)
+    }
+
+    /// Verifies that an arbitrary cipher (e.g. rebuilt from a stolen
+    /// schedule) is the disk's cipher.
+    pub fn verify_cipher(&self, aes: &Aes) -> bool {
+        aes.encrypt_block(&VERIFIER_BLOCK) == self.verifier
+    }
+
+    /// Writes plaintext to a sector using `aes`.
+    ///
+    /// # Errors
+    ///
+    /// [`FdeError::SectorOutOfRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plaintext` is not exactly one sector.
+    pub fn write_sector(&mut self, aes: &Aes, sector: u64, plaintext: &[u8]) -> Result<(), FdeError> {
+        assert_eq!(plaintext.len(), SECTOR_BYTES);
+        let slot = self
+            .sectors
+            .get_mut(sector as usize)
+            .ok_or(FdeError::SectorOutOfRange { sector })?;
+        let ct = aes.ctr_process(&Self::sector_iv(sector), plaintext);
+        slot.copy_from_slice(&ct);
+        Ok(())
+    }
+
+    /// Reads and decrypts a sector using `aes`.
+    ///
+    /// # Errors
+    ///
+    /// [`FdeError::SectorOutOfRange`].
+    pub fn read_sector(&self, aes: &Aes, sector: u64) -> Result<Vec<u8>, FdeError> {
+        let slot =
+            self.sectors.get(sector as usize).ok_or(FdeError::SectorOutOfRange { sector })?;
+        Ok(aes.ctr_process(&Self::sector_iv(sector), slot))
+    }
+
+    /// The raw ciphertext of a sector (what a stolen disk yields without
+    /// the key).
+    ///
+    /// # Errors
+    ///
+    /// [`FdeError::SectorOutOfRange`].
+    pub fn raw_sector(&self, sector: u64) -> Result<&[u8; SECTOR_BYTES], FdeError> {
+        self.sectors.get(sector as usize).ok_or(FdeError::SectorOutOfRange { sector })
+    }
+
+    fn sector_iv(sector: u64) -> [u8; 16] {
+        let mut iv = [0u8; 16];
+        iv[..8].copy_from_slice(&sector.to_be_bytes());
+        iv[8..].copy_from_slice(b"fde-ctr\0");
+        iv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlock_and_roundtrip() {
+        let mut disk = EncryptedDisk::create("hunter2", 99, 8);
+        let aes = disk.unlock("hunter2").unwrap();
+        let mut sector = [0u8; SECTOR_BYTES];
+        sector[..20].copy_from_slice(b"top secret contents!");
+        disk.write_sector(&aes, 3, &sector).unwrap();
+        assert_eq!(disk.read_sector(&aes, 3).unwrap(), sector.to_vec());
+        assert_ne!(&disk.raw_sector(3).unwrap()[..20], b"top secret contents!");
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let disk = EncryptedDisk::create("correct", 1, 1);
+        assert_eq!(disk.unlock("incorrect").unwrap_err(), FdeError::WrongPassword);
+    }
+
+    #[test]
+    fn different_salts_different_keys() {
+        assert_ne!(derive_key("pw", 1).bytes(), derive_key("pw", 2).bytes());
+        assert_ne!(derive_key("pw", 1).bytes(), derive_key("pw2", 1).bytes());
+    }
+
+    #[test]
+    fn verify_cipher_accepts_only_the_disk_key() {
+        let disk = EncryptedDisk::create("pw", 7, 1);
+        assert!(disk.verify_cipher(&disk.unlock("pw").unwrap()));
+        assert!(!disk.verify_cipher(&Aes::new(&AesKey::Aes128([0; 16]))));
+    }
+
+    #[test]
+    fn sector_bounds_checked() {
+        let disk = EncryptedDisk::create("pw", 7, 2);
+        let aes = disk.unlock("pw").unwrap();
+        assert!(matches!(disk.read_sector(&aes, 2), Err(FdeError::SectorOutOfRange { .. })));
+    }
+
+    #[test]
+    fn ciphertexts_differ_across_sectors() {
+        let mut disk = EncryptedDisk::create("pw", 7, 2);
+        let aes = disk.unlock("pw").unwrap();
+        let sector = [0xAB; SECTOR_BYTES];
+        disk.write_sector(&aes, 0, &sector).unwrap();
+        disk.write_sector(&aes, 1, &sector).unwrap();
+        assert_ne!(disk.raw_sector(0).unwrap(), disk.raw_sector(1).unwrap());
+    }
+}

@@ -1,0 +1,29 @@
+//! On-chip cryptography victims for the Volt Boot reproduction.
+//!
+//! The paper's motivating targets are "fully on-chip" crypto schemes that
+//! keep keys out of DRAM to defeat cold-boot attacks:
+//!
+//! * **TRESOR-style** register crypto (x86 debug registers in the
+//!   original; NEON `v0..v31` on ARM): the key schedule never leaves the
+//!   CPU register file ([`tresor`]).
+//! * **CaSE-style** cache-locked crypto: code and key schedule live in a
+//!   locked cache way as plain text, invisible to DRAM probes
+//!   ([`case_exec`]).
+//!
+//! Both defeat cold boot; both store plain text in on-chip SRAM — exactly
+//! what Volt Boot retains across a held power cycle. The [`aes`] module
+//! is a from-scratch FIPS-197 implementation (no external crypto crates),
+//! and [`fde`] builds a toy full-disk-encryption victim around it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod case_exec;
+pub mod fde;
+pub mod tresor;
+
+pub use aes::{Aes, AesKey, KeySchedule};
+pub use case_exec::CaseEnclave;
+pub use fde::{EncryptedDisk, FdeError};
+pub use tresor::TresorContext;

@@ -1,0 +1,189 @@
+//! TRESOR-style register crypto on the simulated SoC.
+//!
+//! TRESOR (and PRIME, Security-through-Amnesia) keeps the AES key and its
+//! schedule in CPU registers so that no key material ever touches RAM.
+//! On ARM the natural home is the NEON file: 32 × 128-bit registers hold
+//! an AES-128 schedule (11 round keys = 176 bytes = 11 registers) with
+//! room to spare, exactly the layout the paper's §7.2 experiment fills
+//! and extracts.
+//!
+//! The scheme defeats cold boot — registers have no externally accessible
+//! bus — but the register file is SRAM in the core power domain, so a
+//! held rail retains it across a power cycle.
+
+use crate::aes::{Aes, AesKey, KeySchedule};
+use voltboot_soc::{Soc, SocError};
+
+/// A TRESOR session: the schedule lives in a core's NEON registers, and
+/// nothing key-derived is stored anywhere else.
+///
+/// ```rust
+/// use voltboot_crypto::aes::AesKey;
+/// use voltboot_crypto::tresor::TresorContext;
+/// use voltboot_soc::devices;
+///
+/// let mut soc = devices::raspberry_pi_4(7);
+/// soc.power_on_all();
+/// let key = AesKey::Aes128(*b"disk-master-key!");
+/// let ctx = TresorContext::install(&mut soc, 0, &key)?;
+/// let ct = ctx.encrypt_block(&soc, b"sixteen byte blk")?;
+/// assert_eq!(ctx.decrypt_block(&soc, &ct)?, *b"sixteen byte blk");
+/// # Ok::<(), voltboot_soc::SocError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TresorContext {
+    /// Which core holds the schedule.
+    pub core: usize,
+    /// First vector register used.
+    pub first_reg: u8,
+    /// Number of vector registers used.
+    pub reg_count: u8,
+    /// Key length in 32-bit words.
+    pub nk: usize,
+}
+
+impl TresorContext {
+    /// Loads `key`'s expanded schedule into the NEON registers of `core`,
+    /// starting at `v0`. Returns the context describing the layout.
+    ///
+    /// The schedule is packed 16 bytes per register, round key `i` in
+    /// `v(i)` — each 128-bit register holds exactly one round key.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::NoSuchCore`] or SRAM failures if the core domain is
+    /// unpowered.
+    pub fn install(soc: &mut Soc, core: usize, key: &AesKey) -> Result<TresorContext, SocError> {
+        let schedule = KeySchedule::expand(key);
+        let bytes = schedule.to_bytes();
+        let regs = bytes.len() / 16;
+        assert!(regs <= 32, "schedule does not fit the register file");
+        let c = soc.core_mut(core)?;
+        for (i, chunk) in bytes.chunks_exact(16).enumerate() {
+            let low = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+            let high = u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+            c.cpu.set_v(i as u8, [low, high]);
+        }
+        // The register file is physical SRAM: sync the architectural
+        // state into it, as the Soc does at power boundaries.
+        let file = *c.cpu.vector_file();
+        c.vregs.store(&file)?;
+        Ok(TresorContext { core, first_reg: 0, reg_count: regs as u8, nk: key.nk() })
+    }
+
+    /// Reads the schedule back out of the registers (what the legitimate
+    /// on-chip cipher does internally for each block).
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::NoSuchCore`].
+    pub fn read_schedule(&self, soc: &Soc) -> Result<KeySchedule, SocError> {
+        let c = soc.core(self.core)?;
+        let mut bytes = Vec::with_capacity(self.reg_count as usize * 16);
+        for i in 0..self.reg_count {
+            let [low, high] = c.cpu.v(self.first_reg + i);
+            bytes.extend_from_slice(&low.to_le_bytes());
+            bytes.extend_from_slice(&high.to_le_bytes());
+        }
+        KeySchedule::from_bytes(&bytes, self.nk)
+            .ok_or(SocError::BootRejected { reason: "register schedule corrupted".into() })
+    }
+
+    /// Encrypts one block fully on-chip: schedule from registers, state
+    /// in (simulated) registers, nothing written to memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TresorContext::read_schedule`] failures.
+    pub fn encrypt_block(&self, soc: &Soc, block: &[u8; 16]) -> Result<[u8; 16], SocError> {
+        Ok(Aes::from_schedule(self.read_schedule(soc)?).encrypt_block(block))
+    }
+
+    /// Decrypts one block fully on-chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TresorContext::read_schedule`] failures.
+    pub fn decrypt_block(&self, soc: &Soc, block: &[u8; 16]) -> Result<[u8; 16], SocError> {
+        Ok(Aes::from_schedule(self.read_schedule(soc)?).decrypt_block(block))
+    }
+
+    /// Zeroizes the registers (the defensive power-down path — which an
+    /// abrupt disconnect never lets run).
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::NoSuchCore`] or SRAM failures.
+    pub fn zeroize(&self, soc: &mut Soc) -> Result<(), SocError> {
+        let c = soc.core_mut(self.core)?;
+        for i in 0..self.reg_count {
+            c.cpu.set_v(self.first_reg + i, [0, 0]);
+        }
+        let file = *c.cpu.vector_file();
+        c.vregs.store(&file)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltboot_pdn::Probe;
+    use voltboot_soc::{devices, PowerCycleSpec};
+
+    fn soc() -> Soc {
+        let mut s = devices::raspberry_pi_4(0xC0FFEE);
+        s.power_on_all();
+        s
+    }
+
+    #[test]
+    fn install_and_use() {
+        let mut s = soc();
+        let key = AesKey::Aes128(*b"super secret key");
+        let ctx = TresorContext::install(&mut s, 0, &key).unwrap();
+        assert_eq!(ctx.reg_count, 11);
+        let pt = *b"sixteen byte msg";
+        let ct = ctx.encrypt_block(&s, &pt).unwrap();
+        assert_eq!(ctx.decrypt_block(&s, &ct).unwrap(), pt);
+        assert_eq!(Aes::new(&key).encrypt_block(&pt), ct);
+    }
+
+    #[test]
+    fn schedule_survives_held_power_cycle() {
+        let mut s = soc();
+        let key = AesKey::Aes128([0xA5; 16]);
+        let ctx = TresorContext::install(&mut s, 0, &key).unwrap();
+        s.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        s.power_cycle(PowerCycleSpec::quick()).unwrap();
+        let recovered = ctx.read_schedule(&s).unwrap();
+        assert_eq!(recovered.original_key(), key);
+    }
+
+    #[test]
+    fn schedule_lost_on_plain_reboot() {
+        let mut s = soc();
+        let ctx = TresorContext::install(&mut s, 0, &AesKey::Aes128([0xA5; 16])).unwrap();
+        s.power_cycle(PowerCycleSpec::quick()).unwrap();
+        assert!(ctx.read_schedule(&s).is_err(), "schedule must not survive an unheld cycle");
+    }
+
+    #[test]
+    fn zeroize_erases_schedule() {
+        let mut s = soc();
+        let ctx = TresorContext::install(&mut s, 0, &AesKey::Aes128([1; 16])).unwrap();
+        ctx.zeroize(&mut s).unwrap();
+        assert!(ctx.read_schedule(&s).is_err());
+        assert_eq!(s.core(0).unwrap().cpu.v(0), [0, 0]);
+    }
+
+    #[test]
+    fn aes256_fits_the_file() {
+        let mut s = soc();
+        let ctx = TresorContext::install(&mut s, 0, &AesKey::Aes256([3; 32])).unwrap();
+        assert_eq!(ctx.reg_count, 15);
+        let pt = [0u8; 16];
+        let ct = ctx.encrypt_block(&s, &pt).unwrap();
+        assert_eq!(Aes::new(&AesKey::Aes256([3; 32])).encrypt_block(&pt), ct);
+    }
+}

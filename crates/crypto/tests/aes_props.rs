@@ -1,0 +1,70 @@
+//! Property tests on the from-scratch AES and GF(2⁸) arithmetic.
+
+use proptest::prelude::*;
+use voltboot_crypto::aes::{gf_inv, gf_mul, Aes, AesKey, KeySchedule};
+
+proptest! {
+    /// GF(2⁸) multiplication is commutative and associative with 1 as
+    /// the identity and distributes over XOR (field axioms on samples).
+    #[test]
+    fn gf_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        prop_assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+        prop_assert_eq!(gf_mul(a, 1), a);
+        prop_assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+    }
+
+    /// Inversion is an involution on nonzero elements.
+    #[test]
+    fn gf_inverse_involution(a in 1u8..=255) {
+        prop_assert_eq!(gf_inv(gf_inv(a)), a);
+        prop_assert_eq!(gf_mul(a, gf_inv(a)), 1);
+    }
+
+    /// All three key sizes round-trip arbitrary blocks.
+    #[test]
+    fn all_key_sizes_roundtrip(k in any::<[u8; 32]>(), block in any::<[u8; 16]>()) {
+        let keys = [
+            AesKey::Aes128(k[..16].try_into().unwrap()),
+            AesKey::Aes192(k[..24].try_into().unwrap()),
+            AesKey::Aes256(k),
+        ];
+        for key in keys {
+            let aes = Aes::new(&key);
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    /// Different keys virtually never produce the same ciphertext, and
+    /// encryption is not the identity.
+    #[test]
+    fn keys_separate_ciphertexts(k1 in any::<[u8; 16]>(), k2 in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        prop_assume!(k1 != k2);
+        let c1 = Aes::new(&AesKey::Aes128(k1)).encrypt_block(&block);
+        let c2 = Aes::new(&AesKey::Aes128(k2)).encrypt_block(&block);
+        prop_assert_ne!(c1, c2);
+        prop_assert_ne!(c1, block);
+    }
+
+    /// Schedule serialization round-trips and single-bit corruption is
+    /// always detected by the consistency check.
+    #[test]
+    fn schedule_integrity(k in any::<[u8; 16]>(), bit in 16usize * 8..176 * 8) {
+        let ks = KeySchedule::expand(&AesKey::Aes128(k));
+        let bytes = ks.to_bytes();
+        prop_assert_eq!(KeySchedule::from_bytes(&bytes, 4).unwrap(), ks);
+        let mut corrupt = bytes;
+        corrupt[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(KeySchedule::from_bytes(&corrupt, 4).is_none(),
+            "corruption at bit {} undetected", bit);
+    }
+
+    /// CTR mode round-trips arbitrary-length messages.
+    #[test]
+    fn ctr_roundtrip(key in any::<[u8; 16]>(), iv in any::<[u8; 16]>(), msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let aes = Aes::new(&AesKey::Aes128(key));
+        let ct = aes.ctr_process(&iv, &msg);
+        prop_assert_eq!(ct.len(), msg.len());
+        prop_assert_eq!(aes.ctr_process(&iv, &ct), msg);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for PDN operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible [`PowerNetwork`](crate::PowerNetwork) operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdnError {
+    /// The named rail does not exist in this network.
+    UnknownRail {
+        /// The rail name that failed to resolve.
+        name: String,
+    },
+    /// The named probe point (test pad) does not exist on this board.
+    UnknownProbePoint {
+        /// The pad name that failed to resolve.
+        name: String,
+    },
+    /// The named power domain does not exist in this network.
+    UnknownDomain {
+        /// The domain name that failed to resolve.
+        name: String,
+    },
+    /// A probe is already attached to that probe point.
+    ProbeAlreadyAttached {
+        /// The pad that already has a probe.
+        pad: String,
+    },
+    /// The main input was toggled to a state it is already in.
+    InvalidMainTransition {
+        /// Human-readable description of the attempted transition.
+        attempted: &'static str,
+    },
+    /// The probe setpoint differs from the rail's live voltage by enough
+    /// to cause back-feed or brown-out at attach time (an attacker always
+    /// measures the pad first — paper §6.1 step 2).
+    ProbeVoltageMismatch {
+        /// Probe setpoint in volts.
+        probe_volts: f64,
+        /// Live rail voltage in volts.
+        rail_volts: f64,
+    },
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::UnknownRail { name } => write!(f, "unknown rail {name:?}"),
+            PdnError::UnknownProbePoint { name } => write!(f, "unknown probe point {name:?}"),
+            PdnError::UnknownDomain { name } => write!(f, "unknown power domain {name:?}"),
+            PdnError::ProbeAlreadyAttached { pad } => {
+                write!(f, "probe already attached at {pad:?}")
+            }
+            PdnError::InvalidMainTransition { attempted } => {
+                write!(f, "invalid main-power transition: {attempted}")
+            }
+            PdnError::ProbeVoltageMismatch { probe_volts, rail_volts } => write!(
+                f,
+                "probe setpoint {probe_volts} V does not match live rail voltage {rail_volts} V"
+            ),
+        }
+    }
+}
+
+impl Error for PdnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let e = PdnError::UnknownRail { name: "VDD_X".into() };
+        assert!(e.to_string().contains("VDD_X"));
+        let e = PdnError::ProbeVoltageMismatch { probe_volts: 1.2, rail_volts: 0.8 };
+        assert!(e.to_string().contains("1.2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PdnError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Power-delivery-network (PDN) model for the Volt Boot reproduction.
+//!
+//! Volt Boot works because modern SoCs split their supply into several
+//! externally-pinned power domains (core, memory, I/O), each fed by its
+//! own regulator inside a PMIC and decoupled by board-level passives. This
+//! crate models exactly the slice of that electrical stack the attack
+//! touches:
+//!
+//! * [`Rail`] — one regulator output with nominal voltage and parasitics;
+//! * [`PowerDomain`] — a gated group of on-die loads fed by one rail;
+//! * [`Pmic`] — the regulator package plus its power-up sequencing;
+//! * [`Probe`] / [`ProbePoint`] — a bench supply attached to a PCB test
+//!   pad or passive-component lead;
+//! * [`PowerNetwork`] — the whole board: attach a probe, cut main power,
+//!   and learn per-rail what happened during the disconnect transient.
+//!
+//! The one electrical failure mode the paper calls out — the compute
+//! cores yanking a current surge through the held rail the instant main
+//! power disappears, drooping it below SRAM retention voltage — is
+//! modelled in [`transient`].
+//!
+//! # Example
+//!
+//! ```rust
+//! use voltboot_pdn::{PowerNetwork, Probe};
+//!
+//! // A Raspberry-Pi-4-like board: VDD_CORE at 0.8 V feeds the ARM
+//! // cluster *and* the L1 SRAMs, exposed at test pad TP15.
+//! let mut net = PowerNetwork::raspberry_pi_4_like();
+//! net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0))?;
+//! let outcome = net.disconnect_main()?;
+//! let rail = outcome.rail("VDD_CORE").unwrap();
+//! assert!(rail.is_held());
+//! // The 3 A bench supply rides through the core surge: no droop to
+//! // speak of, so the SRAM stays above retention voltage.
+//! assert!(rail.transient_min_voltage().unwrap() > 0.6);
+//! # Ok::<(), voltboot_pdn::PdnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod error;
+pub mod network;
+pub mod pmic;
+pub mod probe;
+pub mod rail;
+pub mod transient;
+
+pub use domain::{DomainKind, Load, PowerDomain};
+pub use error::PdnError;
+pub use network::{DisconnectOutcome, PowerNetwork, RailOutcome};
+pub use pmic::Pmic;
+pub use probe::{Probe, ProbePoint};
+pub use rail::{Rail, RegulatorKind};
+pub use transient::{DisconnectTransient, SurgeProfile};

@@ -1,0 +1,411 @@
+//! The full board-level power network.
+
+use crate::domain::{DomainKind, Load, PowerDomain};
+use crate::error::PdnError;
+use crate::pmic::Pmic;
+use crate::probe::{Probe, ProbePoint};
+use crate::rail::{Rail, RegulatorKind};
+use crate::transient::{DisconnectTransient, SurgeProfile};
+use serde::{Deserialize, Serialize};
+
+/// What happened to one rail when main power was cut.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RailOutcome {
+    /// Rail name.
+    pub rail: String,
+    /// Present iff a probe held the rail; describes the transient.
+    pub held: Option<DisconnectTransient>,
+}
+
+impl RailOutcome {
+    /// Whether an external probe kept this rail energized.
+    pub fn is_held(&self) -> bool {
+        self.held.is_some()
+    }
+
+    /// Minimum instantaneous voltage during the disconnect, if held.
+    pub fn transient_min_voltage(&self) -> Option<f64> {
+        self.held.map(|t| t.min_voltage)
+    }
+
+    /// Steady held voltage after the surge, if held.
+    pub fn steady_voltage(&self) -> Option<f64> {
+        self.held.map(|t| t.steady_voltage)
+    }
+}
+
+/// The per-rail outcomes of one main-supply disconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisconnectOutcome {
+    rails: Vec<RailOutcome>,
+}
+
+impl DisconnectOutcome {
+    /// Looks up one rail's outcome by name.
+    pub fn rail(&self, name: &str) -> Option<&RailOutcome> {
+        self.rails.iter().find(|r| r.rail == name)
+    }
+
+    /// Iterates over all rail outcomes.
+    pub fn iter(&self) -> impl Iterator<Item = &RailOutcome> {
+        self.rails.iter()
+    }
+}
+
+/// The whole board: PMIC, domains, probe points, attached probes, and the
+/// main-input switch.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerNetwork {
+    pmic: Pmic,
+    domains: Vec<PowerDomain>,
+    probe_points: Vec<ProbePoint>,
+    /// Attached probes as `(pad, probe)` pairs.
+    attached: Vec<(String, Probe)>,
+    main_connected: bool,
+}
+
+impl PowerNetwork {
+    /// Creates a network with main power initially connected.
+    pub fn new(pmic: Pmic) -> Self {
+        PowerNetwork {
+            pmic,
+            domains: Vec::new(),
+            probe_points: Vec::new(),
+            attached: Vec::new(),
+            main_connected: true,
+        }
+    }
+
+    /// Adds a power domain (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain references a rail the PMIC does not have —
+    /// that is a board-description bug, not a runtime condition.
+    pub fn with_domain(mut self, domain: PowerDomain) -> Self {
+        assert!(
+            self.pmic.rail(&domain.rail).is_some(),
+            "domain {:?} references unknown rail {:?}",
+            domain.name,
+            domain.rail
+        );
+        self.domains.push(domain);
+        self
+    }
+
+    /// Adds a probe point (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pad references a rail the PMIC does not have.
+    pub fn with_probe_point(mut self, point: ProbePoint) -> Self {
+        assert!(
+            self.pmic.rail(&point.rail).is_some(),
+            "probe point {:?} references unknown rail {:?}",
+            point.pad,
+            point.rail
+        );
+        self.probe_points.push(point);
+        self
+    }
+
+    /// The PMIC.
+    pub fn pmic(&self) -> &Pmic {
+        &self.pmic
+    }
+
+    /// All probe points on the board.
+    pub fn probe_points(&self) -> &[ProbePoint] {
+        &self.probe_points
+    }
+
+    /// All power domains.
+    pub fn domains(&self) -> &[PowerDomain] {
+        &self.domains
+    }
+
+    /// Looks up a domain by name.
+    pub fn domain(&self, name: &str) -> Option<&PowerDomain> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+
+    /// Whether the board's main input is connected.
+    pub fn main_connected(&self) -> bool {
+        self.main_connected
+    }
+
+    /// Live voltage at a pad right now (what an attacker's multimeter
+    /// reads before choosing the probe setpoint — attack step 2).
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::UnknownProbePoint`] if the pad does not exist.
+    pub fn measure_pad(&self, pad: &str) -> Result<f64, PdnError> {
+        let point = self.find_pad(pad)?;
+        let rail = self
+            .pmic
+            .rail(&point.rail)
+            .expect("probe points are validated against the pmic");
+        if self.main_connected {
+            Ok(rail.nominal_voltage)
+        } else {
+            Ok(self.attached.iter().find_map(|(p, probe)| {
+                let at = self.find_pad(p).ok()?;
+                (at.rail == point.rail).then_some(probe.voltage)
+            }).unwrap_or(0.0))
+        }
+    }
+
+    /// Attaches `probe` at `pad`. The setpoint must match the live rail
+    /// voltage within 50 mV, as an attacker would ensure.
+    ///
+    /// # Errors
+    ///
+    /// * [`PdnError::UnknownProbePoint`] if the pad does not exist.
+    /// * [`PdnError::ProbeAlreadyAttached`] if the pad is occupied.
+    /// * [`PdnError::ProbeVoltageMismatch`] if the setpoint is off.
+    pub fn attach_probe(&mut self, pad: &str, probe: Probe) -> Result<(), PdnError> {
+        let live = self.measure_pad(pad)?;
+        if self.attached.iter().any(|(p, _)| p == pad) {
+            return Err(PdnError::ProbeAlreadyAttached { pad: pad.to_string() });
+        }
+        if (probe.voltage - live).abs() > 0.05 {
+            return Err(PdnError::ProbeVoltageMismatch { probe_volts: probe.voltage, rail_volts: live });
+        }
+        self.attached.push((pad.to_string(), probe));
+        Ok(())
+    }
+
+    /// Detaches whatever probe sits at `pad`.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::UnknownProbePoint`] if no probe is attached there.
+    pub fn detach_probe(&mut self, pad: &str) -> Result<Probe, PdnError> {
+        let idx = self
+            .attached
+            .iter()
+            .position(|(p, _)| p == pad)
+            .ok_or_else(|| PdnError::UnknownProbePoint { name: pad.to_string() })?;
+        Ok(self.attached.remove(idx).1)
+    }
+
+    /// The probe attached at `pad`, if any.
+    pub fn probe_at(&self, pad: &str) -> Option<&Probe> {
+        self.attached.iter().find(|(p, _)| p == pad).map(|(_, probe)| probe)
+    }
+
+    /// Abruptly cuts the board's main input and resolves, rail by rail,
+    /// whether an attached probe held it and how deep the surge droop went.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::InvalidMainTransition`] if main power is already off.
+    pub fn disconnect_main(&mut self) -> Result<DisconnectOutcome, PdnError> {
+        if !self.main_connected {
+            return Err(PdnError::InvalidMainTransition { attempted: "disconnect while disconnected" });
+        }
+        self.main_connected = false;
+
+        let rails = self
+            .pmic
+            .rails
+            .iter()
+            .map(|rail| {
+                let probe = self.attached.iter().find_map(|(pad, probe)| {
+                    let point = self.find_pad(pad).expect("attached pads exist");
+                    (point.rail == rail.name).then_some(*probe)
+                });
+                let held = probe.map(|probe| {
+                    let surge = self.rail_surge(&rail.name);
+                    DisconnectTransient::compute(&probe, rail, &surge)
+                });
+                RailOutcome { rail: rail.name.clone(), held }
+            })
+            .collect();
+        Ok(DisconnectOutcome { rails })
+    }
+
+    /// Reconnects main power; rails come back in PMIC sequence order.
+    /// Returns the bring-up order.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::InvalidMainTransition`] if main power is already on.
+    pub fn reconnect_main(&mut self) -> Result<Vec<String>, PdnError> {
+        if self.main_connected {
+            return Err(PdnError::InvalidMainTransition { attempted: "reconnect while connected" });
+        }
+        self.main_connected = true;
+        Ok(self.pmic.sequence().into_iter().map(String::from).collect())
+    }
+
+    /// Opens or closes a domain's power gate at runtime (the PMU's
+    /// fine-grained control, and the hardware hook behind the "toggle SRAM
+    /// power at reset" countermeasure).
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::UnknownDomain`] if the domain does not exist.
+    pub fn gate_domain(&mut self, name: &str, on: bool) -> Result<(), PdnError> {
+        let domain = self
+            .domains
+            .iter_mut()
+            .find(|d| d.name == name)
+            .ok_or_else(|| PdnError::UnknownDomain { name: name.to_string() })?;
+        domain.gated_on = on;
+        Ok(())
+    }
+
+    /// Aggregate surge profile of every gated-on domain on `rail`.
+    fn rail_surge(&self, rail: &str) -> SurgeProfile {
+        let mut steady = 0.0;
+        let mut surge = 0.0;
+        let mut duration: f64 = 0.0;
+        for d in self.domains.iter().filter(|d| d.rail == rail && d.gated_on) {
+            steady += d.steady_current();
+            surge += d.surge_current();
+            duration = duration.max(d.surge_duration());
+        }
+        if surge == 0.0 {
+            SurgeProfile::quiescent(steady.max(1e-3))
+        } else {
+            SurgeProfile { steady_current: steady, surge_current: surge, surge_duration: duration }
+        }
+    }
+
+    fn find_pad(&self, pad: &str) -> Result<&ProbePoint, PdnError> {
+        self.probe_points
+            .iter()
+            .find(|p| p.pad == pad)
+            .ok_or_else(|| PdnError::UnknownProbePoint { name: pad.to_string() })
+    }
+
+    /// A Raspberry-Pi-4-like reference board used in docs and tests: the
+    /// BCM2711's VDD_CORE (0.8 V, exposed at TP15) feeds the ARM cluster
+    /// and L1 SRAMs; separate memory and I/O rails complete the picture.
+    pub fn raspberry_pi_4_like() -> Self {
+        let pmic = Pmic::new("MxL7704")
+            .with_rail(Rail::new("VDD_IO", 3.3, RegulatorKind::Ldo))
+            .with_rail(Rail::new("VDD_MEM", 1.1, RegulatorKind::Buck))
+            .with_rail(Rail::new("VDD_CORE", 0.8, RegulatorKind::Buck));
+        PowerNetwork::new(pmic)
+            .with_domain(
+                PowerDomain::new("core", DomainKind::Core, "VDD_CORE")
+                    .with_load(Load::compute_cluster("arm-cluster", 0.5, 2.5))
+                    .with_load(Load::sram("l1-srams", 0.008)),
+            )
+            .with_domain(
+                PowerDomain::new("memory", DomainKind::Memory, "VDD_MEM")
+                    .with_load(Load::sram("l2", 0.02)),
+            )
+            .with_domain(PowerDomain::new("io", DomainKind::Io, "VDD_IO"))
+            .with_probe_point(ProbePoint::new("TP15", "VDD_CORE", "test pad near the PMIC"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_then_attach_then_disconnect() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        let live = net.measure_pad("TP15").unwrap();
+        assert_eq!(live, 0.8);
+        net.attach_probe("TP15", Probe::bench_supply(live, 3.0)).unwrap();
+        let outcome = net.disconnect_main().unwrap();
+        assert!(outcome.rail("VDD_CORE").unwrap().is_held());
+        assert!(!outcome.rail("VDD_MEM").unwrap().is_held());
+        assert!(!outcome.rail("VDD_IO").unwrap().is_held());
+    }
+
+    #[test]
+    fn probe_setpoint_must_match_rail() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        let err = net.attach_probe("TP15", Probe::bench_supply(1.2, 3.0)).unwrap_err();
+        assert!(matches!(err, PdnError::ProbeVoltageMismatch { .. }));
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        let err = net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap_err();
+        assert!(matches!(err, PdnError::ProbeAlreadyAttached { .. }));
+    }
+
+    #[test]
+    fn unknown_pad_rejected() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        assert!(matches!(
+            net.attach_probe("TP99", Probe::bench_supply(0.8, 3.0)),
+            Err(PdnError::UnknownProbePoint { .. })
+        ));
+    }
+
+    #[test]
+    fn weak_probe_droops_core_rail() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.attach_probe("TP15", Probe::weak_source(0.8, 0.3)).unwrap();
+        let outcome = net.disconnect_main().unwrap();
+        let rail = outcome.rail("VDD_CORE").unwrap();
+        assert!(rail.is_held());
+        assert!(rail.transient_min_voltage().unwrap() < 0.3);
+    }
+
+    #[test]
+    fn reconnect_follows_pmic_sequence() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.disconnect_main().unwrap();
+        let order = net.reconnect_main().unwrap();
+        assert_eq!(order, vec!["VDD_IO", "VDD_MEM", "VDD_CORE"]);
+    }
+
+    #[test]
+    fn main_transitions_guarded() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        assert!(net.reconnect_main().is_err());
+        net.disconnect_main().unwrap();
+        assert!(net.disconnect_main().is_err());
+    }
+
+    #[test]
+    fn gating_off_core_removes_surge() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.attach_probe("TP15", Probe::weak_source(0.8, 0.3)).unwrap();
+        net.gate_domain("core", false).unwrap();
+        let outcome = net.disconnect_main().unwrap();
+        // With the cluster gated off, even the weak source holds the rail.
+        let rail = outcome.rail("VDD_CORE").unwrap();
+        assert!(rail.transient_min_voltage().unwrap() > 0.7);
+    }
+
+    #[test]
+    fn unknown_domain_gate_is_error() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        assert!(matches!(net.gate_domain("gpu", false), Err(PdnError::UnknownDomain { .. })));
+    }
+
+    #[test]
+    fn measure_pad_while_off_reads_probe_or_zero() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.disconnect_main().unwrap();
+        assert_eq!(net.measure_pad("TP15").unwrap(), 0.0);
+        net.reconnect_main().unwrap();
+        net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        net.disconnect_main().unwrap();
+        assert_eq!(net.measure_pad("TP15").unwrap(), 0.8);
+    }
+
+    #[test]
+    fn detach_returns_probe() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        let p = net.detach_probe("TP15").unwrap();
+        assert_eq!(p.current_limit, 3.0);
+        assert!(net.probe_at("TP15").is_none());
+    }
+}

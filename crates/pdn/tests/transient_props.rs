@@ -1,0 +1,64 @@
+//! Property tests on the PDN transient model.
+
+use proptest::prelude::*;
+use voltboot_pdn::{DisconnectTransient, Probe, Rail, RegulatorKind, SurgeProfile};
+
+proptest! {
+    /// Voltages out of the transient solver are physical: bounded by the
+    /// setpoint, never negative, and the steady level is at least the
+    /// surge minimum.
+    #[test]
+    fn transient_voltages_are_physical(
+        setpoint_mv in 100u32..5000,
+        limit_ma in 10u32..10_000,
+        surge_ma in 1u32..20_000,
+        steady_ma in 1u32..2_000,
+    ) {
+        let probe = Probe::bench_supply(setpoint_mv as f64 / 1000.0, limit_ma as f64 / 1000.0);
+        let rail = Rail::new("r", setpoint_mv as f64 / 1000.0, RegulatorKind::Buck);
+        let surge = SurgeProfile {
+            steady_current: steady_ma as f64 / 1000.0,
+            surge_current: (surge_ma as f64 / 1000.0).max(steady_ma as f64 / 1000.0),
+            surge_duration: 20e-6,
+        };
+        let t = DisconnectTransient::compute(&probe, &rail, &surge);
+        prop_assert!(t.min_voltage >= 0.0);
+        prop_assert!(t.min_voltage <= probe.voltage + 1e-12);
+        prop_assert!(t.steady_voltage >= t.min_voltage - 1e-9,
+            "steady {} < min {}", t.steady_voltage, t.min_voltage);
+        prop_assert!(t.peak_current <= probe.current_limit + 1e-12);
+    }
+
+    /// A current-unconstrained probe with negligible impedance holds the
+    /// rail near its setpoint through any surge.
+    #[test]
+    fn ideal_probe_always_holds(surge_a in 0.0f64..50.0) {
+        let probe = Probe { voltage: 1.0, current_limit: 1e6, series_resistance: 1e-6 };
+        let rail = Rail::new("r", 1.0, RegulatorKind::Buck).with_parasitics(1e-6, 1e-12);
+        let t = DisconnectTransient::compute(
+            &probe,
+            &rail,
+            &SurgeProfile { steady_current: 0.1, surge_current: surge_a.max(0.1), surge_duration: 20e-6 },
+        );
+        prop_assert!(t.min_voltage > 0.99, "min {}", t.min_voltage);
+        prop_assert!(!t.current_limited);
+    }
+
+    /// Raising the current limit never lowers the minimum voltage.
+    #[test]
+    fn min_voltage_monotone_in_limit(surge_da in 1u32..100) {
+        let rail = Rail::new("r", 0.8, RegulatorKind::Buck);
+        let surge = SurgeProfile {
+            steady_current: 0.2,
+            surge_current: surge_da as f64 / 10.0,
+            surge_duration: 20e-6,
+        };
+        let mut last = -1.0f64;
+        for limit_da in [1u32, 5, 10, 20, 40, 80] {
+            let probe = Probe::bench_supply(0.8, limit_da as f64 / 10.0);
+            let t = DisconnectTransient::compute(&probe, &rail, &surge);
+            prop_assert!(t.min_voltage >= last - 1e-12);
+            last = t.min_voltage;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The device catalog: the paper's three evaluation platforms (Table 2)
+//! with their probe points (Table 3).
+//!
+//! | Board          | SoC     | CPU           | Target memories       | Pad  | Rail (nominal)     |
+//! |----------------|---------|---------------|-----------------------|------|--------------------|
+//! | Raspberry Pi 4 | BCM2711 | 4× Cortex-A72 | L1D, L1I, registers   | TP15 | VDD_CORE (0.8 V)   |
+//! | Raspberry Pi 3 | BCM2837 | 4× Cortex-A53 | L1D, L1I, registers   | PP58 | VDD_CORE (1.2 V)   |
+//! | i.MX53 QSB     | i.MX535 | 1× Cortex-A8  | iRAM (128 KB)         | SH13 | VDDAL1 (1.3 V)     |
+
+use crate::boot::{BootPolicy, BootRom, ClobberRegion};
+use crate::cache::CacheGeometry;
+use crate::debug::Jtag;
+use crate::soc::{Soc, SocConfig};
+use voltboot_pdn::{
+    DomainKind, Load, Pmic, PowerDomain, PowerNetwork, ProbePoint, Rail, RegulatorKind,
+};
+
+/// Default DRAM size for all catalog boards (kept modest; experiments
+/// address well under this).
+pub const DRAM_BYTES: usize = 8 * 1024 * 1024;
+
+/// A Raspberry Pi 4 Model B: BCM2711 with four Cortex-A72 cores.
+///
+/// VDD_CORE (0.8 V, exposed at test pad TP15) feeds the ARM cluster *and*
+/// its L1 SRAMs — holding it requires riding through the core current
+/// surge, hence the paper's >3 A bench supply. The VideoCore boots first
+/// and clobbers the shared L2.
+pub fn raspberry_pi_4(seed: u64) -> Soc {
+    let pmic = Pmic::new("MxL7704")
+        .with_rail(Rail::new("VDD_IO", 3.3, RegulatorKind::Ldo))
+        .with_rail(Rail::new("VDD_MEM", 1.1, RegulatorKind::Buck))
+        .with_rail(Rail::new("VDD_CORE", 0.8, RegulatorKind::Buck));
+    let network = PowerNetwork::new(pmic)
+        .with_domain(
+            PowerDomain::new("core", DomainKind::Core, "VDD_CORE")
+                .with_load(Load::compute_cluster("cortex-a72-cluster", 0.5, 2.5))
+                .with_load(Load::sram("l1-srams", 0.008)),
+        )
+        .with_domain(
+            PowerDomain::new("memory", DomainKind::Memory, "VDD_MEM")
+                .with_load(Load::sram("l2-sram", 0.02)),
+        )
+        .with_domain(PowerDomain::new("io", DomainKind::Io, "VDD_IO"))
+        .with_probe_point(ProbePoint::new("TP15", "VDD_CORE", "test pad near the PMIC"));
+
+    Soc::from_config(SocConfig {
+        soc_name: "BCM2711".into(),
+        board_name: "Raspberry Pi 4".into(),
+        cpu_name: "Cortex-A72".into(),
+        cores: 4,
+        // A72: 48 KB 3-way L1I, 32 KB 2-way L1D, 64 B lines.
+        l1i: CacheGeometry::new(48 * 1024, 3, 64),
+        l1d: CacheGeometry::new(32 * 1024, 2, 64),
+        l2: CacheGeometry::new(1024 * 1024, 16, 64),
+        dram_bytes: DRAM_BYTES,
+        iram: None,
+        core_rail: "VDD_CORE".into(),
+        l2_rail: "VDD_MEM".into(),
+        network,
+        boot_rom: BootRom {
+            clobbers_l2: true,
+            iram_clobbers: vec![],
+            boots_from_internal_rom: false,
+            junk_seed: seed ^ 0xB007,
+        },
+        policy: BootPolicy::default(),
+        jtag: Jtag { enabled: false },
+        seed,
+    })
+}
+
+/// A Raspberry Pi 3 Model B: BCM2837 with four Cortex-A53 cores.
+///
+/// Same topology as the Pi 4 at a 1.2 V core rail, exposed at pad PP58.
+pub fn raspberry_pi_3(seed: u64) -> Soc {
+    let pmic = Pmic::new("PAM2306-class")
+        .with_rail(Rail::new("VDD_IO", 3.3, RegulatorKind::Ldo))
+        .with_rail(Rail::new("VDD_MEM", 1.2, RegulatorKind::Buck))
+        .with_rail(Rail::new("VDD_CORE", 1.2, RegulatorKind::Buck));
+    let network = PowerNetwork::new(pmic)
+        .with_domain(
+            PowerDomain::new("core", DomainKind::Core, "VDD_CORE")
+                .with_load(Load::compute_cluster("cortex-a53-cluster", 0.35, 1.8))
+                .with_load(Load::sram("l1-srams", 0.006)),
+        )
+        .with_domain(
+            PowerDomain::new("memory", DomainKind::Memory, "VDD_MEM")
+                .with_load(Load::sram("l2-sram", 0.015)),
+        )
+        .with_domain(PowerDomain::new("io", DomainKind::Io, "VDD_IO"))
+        .with_probe_point(ProbePoint::new("PP58", "VDD_CORE", "pad on the underside"));
+
+    Soc::from_config(SocConfig {
+        soc_name: "BCM2837".into(),
+        board_name: "Raspberry Pi 3".into(),
+        cpu_name: "Cortex-A53".into(),
+        cores: 4,
+        // A53: 32 KB 2-way L1I, 32 KB 4-way L1D.
+        l1i: CacheGeometry::new(32 * 1024, 2, 64),
+        l1d: CacheGeometry::new(32 * 1024, 4, 64),
+        l2: CacheGeometry::new(512 * 1024, 16, 64),
+        dram_bytes: DRAM_BYTES,
+        iram: None,
+        core_rail: "VDD_CORE".into(),
+        l2_rail: "VDD_MEM".into(),
+        network,
+        boot_rom: BootRom {
+            clobbers_l2: true,
+            iram_clobbers: vec![],
+            boots_from_internal_rom: false,
+            junk_seed: seed ^ 0xB3,
+        },
+        policy: BootPolicy::default(),
+        jtag: Jtag { enabled: false },
+        seed,
+    })
+}
+
+/// The start of the i.MX535 boot-ROM scratchpad window in iRAM (paper
+/// §7.3: errors cluster from `0xF800083C`).
+pub const IMX_IRAM_CLOBBER_START: usize = 0x83C;
+/// The end of the scratchpad window (`0xF80018CC`).
+pub const IMX_IRAM_CLOBBER_END: usize = 0x18CC;
+/// The boot ROM also uses a small stack at the top of iRAM.
+pub const IMX_IRAM_TAIL_CLOBBER: usize = 0x800;
+
+/// An i.MX53 Quick Start Board: i.MX535 with one Cortex-A8 core and
+/// 128 KB of iRAM at `0xF8000000`.
+///
+/// The iRAM sits in the L1 memory domain behind the `VDDAL1` pin (pad
+/// SH13) — a different domain than the core's `VCCGP`, so holding it
+/// draws only milliamps. The device boots from internal ROM (clobbering
+/// part of the iRAM as scratchpad) and exposes JTAG.
+pub fn imx53_qsb(seed: u64) -> Soc {
+    let pmic = Pmic::new("LTC3589")
+        .with_rail(Rail::new("VDD_IO", 3.15, RegulatorKind::Ldo))
+        .with_rail(Rail::new("VCCGP", 1.1, RegulatorKind::Buck))
+        .with_rail(Rail::new("VDDAL1", 1.3, RegulatorKind::Ldo));
+    let network = PowerNetwork::new(pmic)
+        .with_domain(
+            PowerDomain::new("core", DomainKind::Core, "VCCGP")
+                .with_load(Load::compute_cluster("cortex-a8", 0.3, 1.2)),
+        )
+        .with_domain(
+            PowerDomain::new("l1-memory", DomainKind::Memory, "VDDAL1")
+                .with_load(Load::sram("iram", 0.008))
+                .with_load(Load::sram("l1l2-srams", 0.01)),
+        )
+        .with_domain(PowerDomain::new("io", DomainKind::Io, "VDD_IO"))
+        .with_probe_point(ProbePoint::new("SH13", "VDDAL1", "capacitor lead near the PMIC"));
+
+    Soc::from_config(SocConfig {
+        soc_name: "i.MX535".into(),
+        board_name: "i.MX53 QSB".into(),
+        cpu_name: "Cortex-A8".into(),
+        cores: 1,
+        l1i: CacheGeometry::new(32 * 1024, 4, 64),
+        l1d: CacheGeometry::new(32 * 1024, 4, 64),
+        l2: CacheGeometry::new(256 * 1024, 8, 64),
+        dram_bytes: DRAM_BYTES,
+        iram: Some((0xF800_0000, 128 * 1024, "VDDAL1".into())),
+        // Note: on this device the caches hang off the memory domain too
+        // (VDDAL1 feeds the L1 memory arrays), but the attack targets the
+        // iRAM; we keep the caches on the core rail as the conservative
+        // choice for the cache experiments.
+        core_rail: "VCCGP".into(),
+        l2_rail: "VDDAL1".into(),
+        network,
+        boot_rom: BootRom {
+            clobbers_l2: false,
+            iram_clobbers: vec![
+                ClobberRegion::new(IMX_IRAM_CLOBBER_START, IMX_IRAM_CLOBBER_END),
+                ClobberRegion::new(128 * 1024 - IMX_IRAM_TAIL_CLOBBER, 128 * 1024),
+            ],
+            boots_from_internal_rom: true,
+            junk_seed: seed ^ 0x1333,
+        },
+        policy: BootPolicy::default(),
+        jtag: Jtag { enabled: true },
+        seed,
+    })
+}
+
+/// Table 2/3 rows for reporting: `(board, soc, cpu, pad, rail, volts,
+/// target memories)`.
+pub fn catalog_rows() -> Vec<(&'static str, &'static str, &'static str, &'static str, &'static str, f64, &'static str)> {
+    vec![
+        ("Raspberry Pi 4", "BCM2711", "4x Cortex-A72", "TP15", "VDD_CORE", 0.8, "L1D, L1I, registers"),
+        ("Raspberry Pi 3", "BCM2837", "4x Cortex-A53", "PP58", "VDD_CORE", 1.2, "L1D, L1I, registers"),
+        ("i.MX53 QSB", "i.MX535", "1x Cortex-A8", "SH13", "VDDAL1", 1.3, "iRAM"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi4_shape_matches_table_2() {
+        let soc = raspberry_pi_4(1);
+        assert_eq!(soc.core_count(), 4);
+        assert_eq!(soc.core(0).unwrap().l1d.geometry().size_bytes, 32 * 1024);
+        assert_eq!(soc.core(0).unwrap().l1d.geometry().ways, 2);
+        assert_eq!(soc.core(0).unwrap().l1d.geometry().sets(), 256);
+        assert!(soc.network().probe_points().iter().any(|p| p.pad == "TP15"));
+        assert_eq!(soc.network().pmic().rail("VDD_CORE").unwrap().nominal_voltage, 0.8);
+    }
+
+    #[test]
+    fn pi3_shape_matches_table_2() {
+        let soc = raspberry_pi_3(1);
+        assert_eq!(soc.core_count(), 4);
+        assert_eq!(soc.core(0).unwrap().l1d.geometry().ways, 4);
+        assert!(soc.network().probe_points().iter().any(|p| p.pad == "PP58"));
+        assert_eq!(soc.network().pmic().rail("VDD_CORE").unwrap().nominal_voltage, 1.2);
+    }
+
+    #[test]
+    fn imx_shape_matches_table_2() {
+        let soc = imx53_qsb(1);
+        assert_eq!(soc.core_count(), 1);
+        let iram = soc.iram().expect("imx has iram");
+        assert_eq!(iram.base(), 0xF800_0000);
+        assert_eq!(iram.len(), 128 * 1024);
+        assert!(soc.network().probe_points().iter().any(|p| p.pad == "SH13"));
+        assert_eq!(soc.network().pmic().rail("VDDAL1").unwrap().nominal_voltage, 1.3);
+        assert!(soc.boot_rom().boots_from_internal_rom);
+    }
+
+    #[test]
+    fn clobber_window_is_about_five_percent() {
+        let total: usize = (IMX_IRAM_CLOBBER_END - IMX_IRAM_CLOBBER_START) + IMX_IRAM_TAIL_CLOBBER;
+        let frac = total as f64 / (128.0 * 1024.0);
+        assert!(frac > 0.03 && frac < 0.06, "clobber fraction {frac}");
+    }
+
+    #[test]
+    fn different_seeds_are_different_dies() {
+        let mut a = raspberry_pi_4(1);
+        let mut b = raspberry_pi_4(2);
+        a.power_on_all();
+        b.power_on_all();
+        let ia = a.core(0).unwrap().l1d.way_image(0).unwrap();
+        let ib = b.core(0).unwrap().l1d.way_image(0).unwrap();
+        assert_ne!(ia, ib, "power-up fingerprints must differ between dies");
+    }
+
+    #[test]
+    fn catalog_rows_cover_three_platforms() {
+        assert_eq!(catalog_rows().len(), 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! DRAM remanence: the physics that makes *classic* cold boot work.
+//!
+//! The paper's background (§2–3) contrasts on-chip SRAM with the DRAM
+//! that Halderman et al. attacked: DRAM stores bits as capacitor charge,
+//! decays over seconds (not microseconds), decays *toward a known ground
+//! state* (so errors are directional and correctable), and its decay
+//! slows dramatically when cooled. This module models that physics so the
+//! repository can demonstrate the original attack succeeding on DRAM
+//! while failing on SRAM — the asymmetry that motivates fully on-chip
+//! crypto, which Volt Boot then breaks.
+//!
+//! Model: each charged cell loses its charge after an exponential
+//! lifetime with temperature-dependent median (Arrhenius). Cells are
+//! split into *true* cells (discharge to 0) and *anti* cells (discharge
+//! to 1) in row-pair blocks, as on real modules. A freshly refreshed
+//! cell always survives at least one refresh interval.
+
+use crate::dram::Dram;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use voltboot_sram::{LeakageModel, Temperature};
+
+/// Calibration of the DRAM decay law.
+///
+/// Defaults follow the cold-boot literature: at operating temperature
+/// (≈25–45 °C) a module keeps most bits for a second or two and loses
+/// half within ~10 s; cooled to −50 °C, decay stretches to minutes with
+/// <1 % loss over a 60 s transplant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramRemanenceModel {
+    /// Median charged-cell lifetime at the reference temperature, in
+    /// seconds.
+    pub median_lifetime_s: f64,
+    /// Reference temperature for the median lifetime.
+    pub reference: Temperature,
+    /// Activation energy of the leakage path, in eV.
+    pub activation_energy_ev: f64,
+    /// Size of the alternating true-cell / anti-cell blocks, in bytes.
+    pub cell_block_bytes: usize,
+}
+
+impl DramRemanenceModel {
+    /// Literature-calibrated defaults (see type docs).
+    pub fn calibrated() -> Self {
+        DramRemanenceModel {
+            median_lifetime_s: 10.0,
+            reference: Temperature::ROOM,
+            activation_energy_ev: 0.55,
+            cell_block_bytes: 4096,
+        }
+    }
+
+    /// Median charged-cell lifetime at temperature `t`.
+    pub fn median_lifetime(&self, t: Temperature) -> Duration {
+        let model = LeakageModel {
+            t_ref_seconds: self.median_lifetime_s,
+            reference: self.reference,
+            activation_energy_ev: self.activation_energy_ev,
+        };
+        model.median_retention(t)
+    }
+
+    /// Probability that one charged cell has decayed after `dt` at `t`.
+    pub fn decay_probability(&self, dt: Duration, t: Temperature) -> f64 {
+        // Exponential lifetimes with the median pinned: rate = ln2/median.
+        let median = self.median_lifetime(t).as_secs_f64();
+        1.0 - (-dt.as_secs_f64() * std::f64::consts::LN_2 / median).exp()
+    }
+
+    /// Whether byte `offset` lies in an anti-cell block (bits discharge
+    /// toward 1 instead of 0).
+    pub fn is_anti_block(&self, offset: usize) -> bool {
+        (offset / self.cell_block_bytes) % 2 == 1
+    }
+}
+
+impl Default for DramRemanenceModel {
+    fn default() -> Self {
+        DramRemanenceModel::calibrated()
+    }
+}
+
+/// Applies an unpowered interval to a DRAM image in place, returning the
+/// number of bits that decayed. Deterministic per `(seed, event)`.
+pub fn apply_decay(
+    dram: &mut Dram,
+    model: &DramRemanenceModel,
+    dt: Duration,
+    temperature: Temperature,
+    seed: u64,
+    event: u64,
+) -> usize {
+    let p = model.decay_probability(dt, temperature);
+    if p <= 0.0 {
+        return 0;
+    }
+    let len = dram.len();
+    let mut flipped = 0usize;
+    for offset in 0..len {
+        let anti = model.is_anti_block(offset);
+        let byte = dram.raw_cells(offset as u64, 1).expect("in range")[0];
+        let mut out = byte;
+        for bit in 0..8u8 {
+            let charged = if anti { byte & (1 << bit) == 0 } else { byte & (1 << bit) != 0 };
+            if !charged {
+                continue;
+            }
+            // Deterministic per-cell draw.
+            let h = mix(seed ^ event.wrapping_mul(0x9E37_79B9_7F4A_7C15), (offset * 8 + bit as usize) as u64);
+            let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < p {
+                if anti {
+                    out |= 1 << bit;
+                } else {
+                    out &= !(1 << bit);
+                }
+                flipped += 1;
+            }
+        }
+        if out != byte {
+            dram.write_raw(offset as u64, out);
+        }
+    }
+    flipped
+}
+
+#[inline]
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetimes_scale_with_temperature() {
+        let m = DramRemanenceModel::calibrated();
+        let warm = m.median_lifetime(Temperature::ROOM);
+        let cold = m.median_lifetime(Temperature::from_celsius(-50.0));
+        assert!((warm.as_secs_f64() - 10.0).abs() < 1e-9);
+        assert!(cold > Duration::from_secs(600), "cooled DRAM lasts minutes: {cold:?}");
+    }
+
+    #[test]
+    fn decay_probability_limits() {
+        let m = DramRemanenceModel::calibrated();
+        assert!(m.decay_probability(Duration::ZERO, Temperature::ROOM) < 1e-12);
+        let long = m.decay_probability(Duration::from_secs(3600), Temperature::ROOM);
+        assert!(long > 0.999);
+        // Half the cells at exactly one median lifetime.
+        let half = m.decay_probability(Duration::from_secs(10), Temperature::ROOM);
+        assert!((half - 0.5).abs() < 1e-9, "{half}");
+    }
+
+    #[test]
+    fn true_cells_decay_to_zero_and_anti_cells_to_one() {
+        let m = DramRemanenceModel::calibrated();
+        let mut dram = Dram::new(2 * m.cell_block_bytes);
+        // 0xFF in a true block: should decay toward 0x00.
+        dram.write(0, &[0xFF; 64]).unwrap();
+        // 0x00 in an anti block: should decay toward 0xFF.
+        dram.write(m.cell_block_bytes as u64, &[0x00; 64]).unwrap();
+        apply_decay(&mut dram, &m, Duration::from_secs(3600), Temperature::ROOM, 1, 0);
+        assert_eq!(dram.raw_cells(0, 64).unwrap(), &[0u8; 64][..]);
+        assert_eq!(
+            dram.raw_cells(m.cell_block_bytes as u64, 64).unwrap(),
+            &[0xFFu8; 64][..]
+        );
+    }
+
+    #[test]
+    fn cooling_preserves_a_transplant() {
+        let m = DramRemanenceModel::calibrated();
+        let mut dram = Dram::new(8192);
+        dram.write(0, &[0xA5; 4096]).unwrap();
+        let flipped =
+            apply_decay(&mut dram, &m, Duration::from_secs(60), Temperature::from_celsius(-50.0), 2, 0);
+        let total_charged = 4096 * 4; // half the bits of 0xA5 per block... roughly
+        assert!(
+            (flipped as f64) < 0.02 * total_charged as f64,
+            "cooled 60 s transplant must lose <2%: {flipped} flips"
+        );
+    }
+
+    #[test]
+    fn warm_transplant_is_destroyed() {
+        let m = DramRemanenceModel::calibrated();
+        let mut dram = Dram::new(4096);
+        dram.write(0, &[0xFF; 4096]).unwrap();
+        apply_decay(&mut dram, &m, Duration::from_secs(120), Temperature::from_celsius(45.0), 3, 0);
+        let survivors = dram.raw_cells(0, 4096).unwrap().iter().map(|b| b.count_ones()).sum::<u32>();
+        assert!(survivors < 400, "warm decay should erase nearly everything: {survivors} bits left");
+    }
+
+    #[test]
+    fn decay_is_deterministic_per_seed_and_event() {
+        let m = DramRemanenceModel::calibrated();
+        let run = |seed, event| {
+            let mut d = Dram::new(1024);
+            d.write(0, &[0x5A; 1024]).unwrap();
+            apply_decay(&mut d, &m, Duration::from_secs(10), Temperature::ROOM, seed, event);
+            d.raw_cells(0, 1024).unwrap().to_vec()
+        };
+        assert_eq!(run(7, 0), run(7, 0));
+        assert_ne!(run(7, 0), run(7, 1));
+        assert_ne!(run(7, 0), run(8, 0));
+    }
+}

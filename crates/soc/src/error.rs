@@ -1,0 +1,112 @@
+//! Error type for SoC operations.
+
+use std::error::Error;
+use std::fmt;
+use voltboot_sram::SramError;
+
+/// Error returned by fallible [`Soc`](crate::Soc) operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SocError {
+    /// An underlying SRAM array rejected an operation.
+    Sram(SramError),
+    /// A power-network operation failed.
+    Pdn(voltboot_pdn::PdnError),
+    /// No core with that index exists.
+    NoSuchCore {
+        /// Requested core index.
+        core: usize,
+    },
+    /// The device has no iRAM but an iRAM operation was requested.
+    NoIram,
+    /// The device has no JTAG port (or it is fused off).
+    NoJtag,
+    /// An access fell outside every mapped memory region.
+    Unmapped {
+        /// The faulting physical address.
+        addr: u64,
+    },
+    /// The requested internal RAM id is not implemented by this device.
+    UnknownRamId {
+        /// The raw RAMINDEX id.
+        ramid: u8,
+    },
+    /// A RAMINDEX way/index pair fell outside the target RAM.
+    RamIndexOutOfRange {
+        /// The requested way.
+        way: u8,
+        /// The requested index.
+        index: u32,
+    },
+    /// TrustZone enforcement denied access to a secure line from a
+    /// non-secure state.
+    TrustZoneViolation,
+    /// The boot ROM refused to boot the supplied image (authenticated
+    /// boot enforced and the image signature did not verify).
+    BootRejected {
+        /// Why the ROM refused.
+        reason: String,
+    },
+    /// The SoC (or a required domain) is not powered.
+    NotPowered,
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::Sram(e) => write!(f, "sram: {e}"),
+            SocError::Pdn(e) => write!(f, "pdn: {e}"),
+            SocError::NoSuchCore { core } => write!(f, "no core {core} on this device"),
+            SocError::NoIram => write!(f, "device has no iram"),
+            SocError::NoJtag => write!(f, "device has no jtag port"),
+            SocError::Unmapped { addr } => write!(f, "unmapped physical address {addr:#x}"),
+            SocError::UnknownRamId { ramid } => write!(f, "unknown ramindex id {ramid:#04x}"),
+            SocError::RamIndexOutOfRange { way, index } => {
+                write!(f, "ramindex way {way} index {index} out of range")
+            }
+            SocError::TrustZoneViolation => write!(f, "trustzone denied non-secure access"),
+            SocError::BootRejected { reason } => write!(f, "boot rejected: {reason}"),
+            SocError::NotPowered => write!(f, "target is not powered"),
+        }
+    }
+}
+
+impl Error for SocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SocError::Sram(e) => Some(e),
+            SocError::Pdn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SramError> for SocError {
+    fn from(e: SramError) -> Self {
+        SocError::Sram(e)
+    }
+}
+
+impl From<voltboot_pdn::PdnError> for SocError {
+    fn from(e: voltboot_pdn::PdnError) -> Self {
+        SocError::Pdn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = SocError::Sram(SramError::NotPowered);
+        assert!(e.to_string().contains("sram"));
+        assert!(e.source().is_some());
+        assert!(SocError::NoIram.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SocError>();
+    }
+}

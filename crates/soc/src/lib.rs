@@ -1,0 +1,61 @@
+//! Simulated ARM SoCs for the Volt Boot reproduction.
+//!
+//! This crate assembles the paper's three evaluation platforms out of the
+//! lower-level substrates:
+//!
+//! * SRAM-backed **L1/L2 caches** ([`cache`]) whose tag *and* data arrays
+//!   are [`voltboot_sram::SramArray`]s, so cache contents participate in
+//!   power events exactly like physical cells;
+//! * SRAM-backed **iRAM** ([`iram`]) and **NEON register files**
+//!   ([`regfile`]);
+//! * **boot ROMs** ([`boot`]) with per-device clobber maps (the BCM
+//!   VideoCore wipes L2, the i.MX535 ROM scribbles over part of iRAM);
+//! * **debug interfaces** ([`debug`]): the CP15 `RAMINDEX` path into the
+//!   caches and a JTAG port into physical memory;
+//! * a **power model** tying every SRAM array to the power domain / rail
+//!   that feeds it, driven by [`voltboot_pdn`].
+//!
+//! The central type is [`Soc`]: build one from the [`devices`] catalog
+//! ([`devices::raspberry_pi_4`], [`devices::raspberry_pi_3`],
+//! [`devices::imx53_qsb`]), run [`voltboot_armlite`] programs on its
+//! cores, cut the power with or without a probe attached, and read out
+//! whatever the SRAM kept.
+//!
+//! # Example
+//!
+//! ```rust
+//! use voltboot_soc::devices;
+//! use voltboot_armlite::program::builders::nop_sled;
+//!
+//! let mut soc = devices::raspberry_pi_4(0xD1E5EED);
+//! soc.power_on_all();
+//! soc.enable_caches(0);
+//! let exit = soc.run_program(0, &nop_sled(64), 0x8_0000, 10_000);
+//! assert!(matches!(exit, voltboot_armlite::RunExit::Halted(0)));
+//! // The NOP sled now sits in core 0's i-cache data RAM.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod btb;
+pub mod cache;
+pub mod debug;
+pub mod devices;
+pub mod dram;
+pub mod dram_remanence;
+pub mod error;
+pub mod iram;
+pub mod regfile;
+pub mod soc;
+pub mod tlb;
+
+pub use boot::{BootOutcome, BootPolicy, BootSource, ClobberRegion};
+pub use cache::{Cache, CacheGeometry, CacheKind};
+pub use debug::{Jtag, RamId};
+pub use dram::Dram;
+pub use error::SocError;
+pub use iram::Iram;
+pub use regfile::VectorRegFile;
+pub use soc::{Core, PowerCycleSpec, Soc, SocConfig};

@@ -1,0 +1,655 @@
+//! The SRAM array: bit storage plus the power-state machine.
+
+use crate::bits::PackedBits;
+use crate::cell::{CellDistribution, CellParams};
+use crate::error::SramError;
+use crate::physics::{LeakageModel, Temperature};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Static configuration of an SRAM array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Human-readable name, e.g. `"core0.l1d.data"`.
+    pub name: String,
+    /// Number of bits in the array.
+    pub bits: usize,
+    /// Nominal supply voltage of the array's power domain, in volts.
+    pub nominal_voltage: f64,
+    /// Process-variation distribution of the cells.
+    pub distribution: CellDistribution,
+    /// Leakage physics shared by all cells.
+    pub leakage: LeakageModel,
+    /// Extra decay acceleration applied while unpowered when power-hungry
+    /// logic (CPU cores) shares the domain and drains residual charge
+    /// during an abrupt disconnect (paper §3: "an abrupt power disconnect
+    /// draws energy from all parts of the SoC to the power-hungry
+    /// processing elements").
+    pub shared_domain_drain: f64,
+}
+
+impl ArrayConfig {
+    /// Convenience constructor for a byte-sized array at a 0.8 V rail.
+    pub fn with_bytes(name: impl Into<String>, bytes: usize) -> Self {
+        ArrayConfig {
+            name: name.into(),
+            bits: bytes * 8,
+            nominal_voltage: 0.8,
+            distribution: CellDistribution::calibrated(),
+            leakage: LeakageModel::calibrated(),
+            shared_domain_drain: 1.0,
+        }
+    }
+
+    /// Convenience constructor for a bit-sized array at a 0.8 V rail.
+    pub fn with_bits(name: impl Into<String>, bits: usize) -> Self {
+        ArrayConfig {
+            name: name.into(),
+            bits,
+            nominal_voltage: 0.8,
+            distribution: CellDistribution::calibrated(),
+            leakage: LeakageModel::calibrated(),
+            shared_domain_drain: 1.0,
+        }
+    }
+
+    /// Sets the nominal rail voltage (builder style).
+    pub fn nominal_voltage(mut self, volts: f64) -> Self {
+        self.nominal_voltage = volts;
+        self
+    }
+
+    /// Sets the shared-domain drain accelerator (builder style).
+    pub fn shared_domain_drain(mut self, factor: f64) -> Self {
+        self.shared_domain_drain = factor;
+        self
+    }
+}
+
+/// What happens to the array's rail when the system's main power is cut.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OffEvent {
+    /// The rail is fully disconnected: cells decay with temperature.
+    Unpowered,
+    /// An external probe holds the rail.
+    Held {
+        /// Steady voltage the probe maintains, in volts.
+        voltage: f64,
+        /// Minimum instantaneous voltage during the disconnect transient
+        /// (rail droop from the core current surge). Cells whose DRV lies
+        /// above this lose their state even though the steady level is
+        /// fine. Equal to `voltage` when the probe absorbs the surge.
+        transient_min_voltage: f64,
+    },
+}
+
+impl OffEvent {
+    /// A plain, unheld power-off.
+    pub fn unpowered() -> Self {
+        OffEvent::Unpowered
+    }
+
+    /// A hold at `voltage` with no droop (an ideal bench supply).
+    pub fn held(voltage: f64) -> Self {
+        OffEvent::Held { voltage, transient_min_voltage: voltage }
+    }
+
+    /// A hold at `voltage` that sagged to `transient_min_voltage` during
+    /// the disconnect surge.
+    pub fn held_with_droop(voltage: f64, transient_min_voltage: f64) -> Self {
+        OffEvent::Held { voltage, transient_min_voltage }
+    }
+}
+
+/// The array's power state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Normal operation at the nominal rail voltage.
+    Powered,
+    /// Main power is off; the fields describe the off interval so far.
+    Off {
+        /// How the rail is being treated while off.
+        event: OffEvent,
+        /// Accumulated dimensionless decay stress (only grows when truly
+        /// unpowered; a held rail accumulates none).
+        stress: f64,
+    },
+}
+
+/// Summary of what a power cycle did to the array's contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetentionReport {
+    /// Array name.
+    pub name: String,
+    /// Total bits.
+    pub bits: usize,
+    /// Bits that kept their pre-cycle value.
+    pub retained: usize,
+    /// Bits that resolved to a power-up sample instead.
+    pub lost: usize,
+}
+
+impl RetentionReport {
+    /// Fraction of bits retained, in `[0, 1]`.
+    pub fn retention_fraction(&self) -> f64 {
+        if self.bits == 0 {
+            1.0
+        } else {
+            self.retained as f64 / self.bits as f64
+        }
+    }
+}
+
+/// A rectangular array of 6T SRAM cells with a power-state machine.
+///
+/// See the [crate-level docs](crate) for the physics and an end-to-end
+/// example. All state transitions are explicit:
+///
+/// * [`SramArray::power_on`] — powers the array; any cells that lost their
+///   charge while off resolve to their power-up values.
+/// * [`SramArray::power_off`] — cuts main power, either leaving the rail
+///   floating ([`OffEvent::Unpowered`]) or held by an external probe
+///   ([`OffEvent::Held`]).
+/// * [`SramArray::elapse`] — advances time while off, accumulating decay
+///   stress at the given ambient temperature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SramArray {
+    config: ArrayConfig,
+    seed: u64,
+    state: PowerState,
+    /// Logic state of every cell. Meaningful while powered; while off it
+    /// is the *pre-cycle* data, resolved against decay at power-on.
+    data: PackedBits,
+    /// Monotone counter of power-on events (keys power-up sampling).
+    powerup_events: u64,
+    /// Whether the array has ever been powered (first power-on samples the
+    /// pure power-up state with no retained data to fall back to).
+    ever_powered: bool,
+    /// Report from the most recent power-on, if it followed an off period.
+    last_report: Option<RetentionReport>,
+}
+
+impl SramArray {
+    /// Creates a new, never-powered array. `seed` determines the silicon:
+    /// equal seeds model the same physical die.
+    pub fn new(config: ArrayConfig, seed: u64) -> Self {
+        let bits = config.bits;
+        SramArray {
+            config,
+            seed,
+            state: PowerState::Off { event: OffEvent::Unpowered, stress: f64::INFINITY },
+            data: PackedBits::zeros(bits),
+            powerup_events: 0,
+            ever_powered: false,
+            last_report: None,
+        }
+    }
+
+    /// The array's configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// The array's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Number of bits.
+    pub fn len_bits(&self) -> usize {
+        self.config.bits
+    }
+
+    /// Number of whole bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.config.bits / 8
+    }
+
+    /// Current power state.
+    pub fn power_state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Whether the array is currently powered.
+    pub fn is_powered(&self) -> bool {
+        matches!(self.state, PowerState::Powered)
+    }
+
+    /// The retention report produced by the most recent power-on, if any.
+    pub fn last_retention_report(&self) -> Option<&RetentionReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Derives the parameters of cell `index`.
+    pub fn cell_params(&self, index: usize) -> CellParams {
+        CellParams::derive(self.seed, index, &self.config.distribution)
+    }
+
+    /// Powers the array on, resolving each cell against the accumulated
+    /// off-interval physics, and returns a report of what survived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidPowerTransition`] if already powered.
+    pub fn power_on(&mut self) -> Result<RetentionReport, SramError> {
+        let PowerState::Off { event, stress } = self.state else {
+            return Err(SramError::InvalidPowerTransition { attempted: "power on while powered" });
+        };
+        let event_id = self.powerup_events;
+        self.powerup_events += 1;
+
+        let mut retained = 0usize;
+        let mut lost = 0usize;
+        let first_power = !self.ever_powered;
+
+        // Fast path 1: the whole array certainly retained. A rail held at
+        // or above the maximum possible DRV with zero accumulated stress
+        // keeps every cell, with no need to derive per-cell parameters.
+        let certainly_retained = !first_power
+            && match event {
+                OffEvent::Held { voltage, transient_min_voltage } => {
+                    stress == 0.0
+                        && voltage >= self.config.distribution.drv_max
+                        && transient_min_voltage >= self.config.distribution.drv_max
+                }
+                OffEvent::Unpowered => false,
+            };
+        // Fast path 2: the whole array certainly lost. The decay budget is
+        // lognormal; a stress beyond any plausible tail quantile loses
+        // every cell, so only the power-up state needs sampling.
+        let max_plausible_budget = (self.config.distribution.decay_sigma * 9.0).exp();
+        let certainly_lost = first_power
+            || (matches!(event, OffEvent::Unpowered) && stress > max_plausible_budget);
+
+        if certainly_retained {
+            retained = self.config.bits;
+        } else if certainly_lost {
+            lost = self.config.bits;
+            let dist = self.config.distribution;
+            for i in 0..self.config.bits {
+                let v = CellParams::sample_powerup_only(self.seed, i, &dist, event_id);
+                self.data.set(i, v);
+            }
+        } else {
+            for i in 0..self.config.bits {
+                let params = self.cell_params(i);
+                let keeps = Self::cell_retains(&params, event, stress);
+                if keeps {
+                    retained += 1;
+                } else {
+                    lost += 1;
+                    let v = params.sample_powerup(self.seed, i, event_id);
+                    self.data.set(i, v);
+                }
+            }
+        }
+        self.ever_powered = true;
+        self.state = PowerState::Powered;
+        let report = RetentionReport {
+            name: self.config.name.clone(),
+            bits: self.config.bits,
+            retained,
+            lost,
+        };
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    fn cell_retains(params: &CellParams, event: OffEvent, stress: f64) -> bool {
+        match event {
+            OffEvent::Held { voltage, transient_min_voltage } => {
+                // A held rail retains iff both the steady level and the
+                // transient minimum stay at or above the cell's DRV, and
+                // any stress accumulated before/after the hold stays
+                // within budget.
+                params.retains_at(voltage)
+                    && params.retains_at(transient_min_voltage)
+                    && stress <= params.decay_budget
+            }
+            OffEvent::Unpowered => stress <= params.decay_budget,
+        }
+    }
+
+    /// Cuts main power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidPowerTransition`] if already off.
+    pub fn power_off(&mut self, event: OffEvent) -> Result<(), SramError> {
+        if !self.is_powered() {
+            return Err(SramError::InvalidPowerTransition { attempted: "power off while off" });
+        }
+        self.state = PowerState::Off { event, stress: 0.0 };
+        Ok(())
+    }
+
+    /// Advances time while the array is off.
+    ///
+    /// A held rail accumulates no decay stress (the probe keeps the cells
+    /// above their retention voltage indefinitely — the paper observes the
+    /// "retention state" persisting at 8 mA "indefinitely"). A floating
+    /// rail accumulates Arrhenius-weighted stress, scaled by the
+    /// shared-domain drain factor.
+    ///
+    /// Does nothing if the array is powered (time passes harmlessly).
+    pub fn elapse(&mut self, dt: Duration, temperature: Temperature) {
+        if let PowerState::Off { event, ref mut stress } = self.state {
+            if matches!(event, OffEvent::Unpowered) {
+                *stress +=
+                    self.config.leakage.stress(dt, temperature) * self.config.shared_domain_drain;
+            }
+        }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotPowered`] if the array is off;
+    /// [`SramError::OutOfBounds`] if `index` is past the end.
+    pub fn read_bit(&self, index: usize) -> Result<bool, SramError> {
+        self.check_access(index, 1)?;
+        Ok(self.data.get(index))
+    }
+
+    /// Writes one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotPowered`] if the array is off;
+    /// [`SramError::OutOfBounds`] if `index` is past the end.
+    pub fn write_bit(&mut self, index: usize, value: bool) -> Result<(), SramError> {
+        self.check_access(index, 1)?;
+        self.data.set(index, value);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is unpowered or the range is out of bounds; use
+    /// [`SramArray::try_read_bytes`] for a fallible version.
+    pub fn read_bytes(&self, offset: usize, len: usize) -> Vec<u8> {
+        self.try_read_bytes(offset, len).expect("sram read")
+    }
+
+    /// Fallible version of [`SramArray::read_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotPowered`] if the array is off;
+    /// [`SramError::OutOfBounds`] if the range is past the end.
+    pub fn try_read_bytes(&self, offset: usize, len: usize) -> Result<Vec<u8>, SramError> {
+        self.check_access(offset * 8, len * 8)?;
+        Ok(self.data.bytes_at(offset * 8, len))
+    }
+
+    /// Writes `bytes` starting at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is unpowered or the range is out of bounds; use
+    /// [`SramArray::try_write_bytes`] for a fallible version.
+    pub fn write_bytes(&mut self, offset: usize, bytes: &[u8]) {
+        self.try_write_bytes(offset, bytes).expect("sram write");
+    }
+
+    /// Fallible version of [`SramArray::write_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotPowered`] if the array is off;
+    /// [`SramError::OutOfBounds`] if the range is past the end.
+    pub fn try_write_bytes(&mut self, offset: usize, bytes: &[u8]) -> Result<(), SramError> {
+        self.check_access(offset * 8, bytes.len() * 8)?;
+        self.data.copy_bytes_in(offset * 8, bytes);
+        Ok(())
+    }
+
+    /// Snapshot of the full contents as a bit vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotPowered`] if the array is off.
+    pub fn snapshot(&self) -> Result<PackedBits, SramError> {
+        if !self.is_powered() {
+            return Err(SramError::NotPowered);
+        }
+        Ok(self.data.clone())
+    }
+
+    /// Overwrites the full contents from a bit vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotPowered`] if the array is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the array size.
+    pub fn restore(&mut self, bits: &PackedBits) -> Result<(), SramError> {
+        if !self.is_powered() {
+            return Err(SramError::NotPowered);
+        }
+        assert_eq!(bits.len(), self.config.bits, "restore size mismatch");
+        self.data = bits.clone();
+        Ok(())
+    }
+
+    /// Fills the whole array with a repeated byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::NotPowered`] if the array is off.
+    pub fn fill(&mut self, byte: u8) -> Result<(), SramError> {
+        if !self.is_powered() {
+            return Err(SramError::NotPowered);
+        }
+        let bytes = vec![byte; self.config.bits / 8];
+        self.data.copy_bytes_in(0, &bytes);
+        Ok(())
+    }
+
+    fn check_access(&self, first_bit: usize, nbits: usize) -> Result<(), SramError> {
+        if !self.is_powered() {
+            return Err(SramError::NotPowered);
+        }
+        let end = first_bit.checked_add(nbits).ok_or(SramError::OutOfBounds {
+            index: first_bit,
+            len: self.config.bits,
+        })?;
+        if end > self.config.bits {
+            return Err(SramError::OutOfBounds { index: end - 1, len: self.config.bits });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array(bytes: usize) -> SramArray {
+        SramArray::new(ArrayConfig::with_bytes("t", bytes), 0xdead_beef)
+    }
+
+    #[test]
+    fn first_power_on_is_all_lost() {
+        let mut s = array(128);
+        let report = s.power_on().unwrap();
+        assert_eq!(report.retained, 0);
+        assert_eq!(report.lost, 1024);
+    }
+
+    #[test]
+    fn powerup_state_is_roughly_half_ones() {
+        let mut s = array(4096);
+        s.power_on().unwrap();
+        let frac = s.snapshot().unwrap().ones_fraction();
+        assert!((frac - 0.5).abs() < 0.03, "ones fraction {frac}");
+    }
+
+    #[test]
+    fn held_rail_retains_everything() {
+        let mut s = array(256);
+        s.power_on().unwrap();
+        s.write_bytes(0, &[0xAA; 256]);
+        s.power_off(OffEvent::held(0.8)).unwrap();
+        s.elapse(Duration::from_secs(86_400), Temperature::ROOM);
+        let report = s.power_on().unwrap();
+        assert_eq!(report.retained, 2048);
+        assert_eq!(s.read_bytes(0, 256), vec![0xAA; 256]);
+    }
+
+    #[test]
+    fn unpowered_room_temperature_loses_everything() {
+        let mut s = array(1024);
+        s.power_on().unwrap();
+        s.write_bytes(0, &[0x55; 1024]);
+        s.power_off(OffEvent::unpowered()).unwrap();
+        s.elapse(Duration::from_millis(500), Temperature::ROOM);
+        let report = s.power_on().unwrap();
+        assert_eq!(report.retained, 0, "retained {}", report.retained);
+        // ~50% error against the stored pattern.
+        let image = s.snapshot().unwrap();
+        let stored = PackedBits::from_bytes(&[0x55; 1024]);
+        let err = image.fractional_hamming(&stored);
+        assert!((err - 0.5).abs() < 0.05, "error {err}");
+    }
+
+    #[test]
+    fn deep_cold_retains_about_eighty_percent_at_20ms() {
+        let mut s = array(4096);
+        s.power_on().unwrap();
+        s.fill(0xFF).unwrap();
+        s.power_off(OffEvent::unpowered()).unwrap();
+        s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+        let report = s.power_on().unwrap();
+        let frac = report.retention_fraction();
+        assert!((frac - 0.79).abs() < 0.05, "retention at -110C/20ms: {frac}");
+    }
+
+    #[test]
+    fn minus_forty_is_total_loss_after_500ms() {
+        let mut s = array(4096);
+        s.power_on().unwrap();
+        s.fill(0xFF).unwrap();
+        s.power_off(OffEvent::unpowered()).unwrap();
+        s.elapse(Duration::from_millis(500), Temperature::from_celsius(-40.0));
+        let report = s.power_on().unwrap();
+        assert!(report.retention_fraction() < 0.01, "{}", report.retention_fraction());
+    }
+
+    #[test]
+    fn droop_below_drv_loses_some_cells() {
+        let mut s = array(4096);
+        s.power_on().unwrap();
+        s.fill(0xA5).unwrap();
+        // Held at 0.8 V but sagging to 0.30 V during the surge: roughly
+        // half the cells (those with DRV above 0.30 V) lose state.
+        s.power_off(OffEvent::held_with_droop(0.8, 0.30)).unwrap();
+        s.elapse(Duration::from_millis(10), Temperature::ROOM);
+        let report = s.power_on().unwrap();
+        let frac = report.retention_fraction();
+        assert!(frac > 0.3 && frac < 0.7, "retention with 0.30 V droop: {frac}");
+    }
+
+    #[test]
+    fn stress_accumulates_across_multiple_elapse_calls() {
+        let mut a = array(2048);
+        a.power_on().unwrap();
+        a.fill(0x0F).unwrap();
+        a.power_off(OffEvent::unpowered()).unwrap();
+        for _ in 0..10 {
+            a.elapse(Duration::from_millis(2), Temperature::from_celsius(-110.0));
+        }
+        let frac_split = a.power_on().unwrap().retention_fraction();
+
+        let mut b = array(2048);
+        b.power_on().unwrap();
+        b.fill(0x0F).unwrap();
+        b.power_off(OffEvent::unpowered()).unwrap();
+        b.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+        let frac_once = b.power_on().unwrap().retention_fraction();
+        assert!((frac_split - frac_once).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_domain_drain_accelerates_loss() {
+        let mk = |drain: f64| {
+            let cfg = ArrayConfig::with_bytes("t", 2048).shared_domain_drain(drain);
+            let mut s = SramArray::new(cfg, 7);
+            s.power_on().unwrap();
+            s.fill(0xFF).unwrap();
+            s.power_off(OffEvent::unpowered()).unwrap();
+            s.elapse(Duration::from_millis(10), Temperature::from_celsius(-110.0));
+            s.power_on().unwrap().retention_fraction()
+        };
+        assert!(mk(1.0) > mk(10.0));
+    }
+
+    #[test]
+    fn access_while_off_is_an_error() {
+        let mut s = array(16);
+        s.power_on().unwrap();
+        s.power_off(OffEvent::unpowered()).unwrap();
+        assert_eq!(s.try_read_bytes(0, 4), Err(SramError::NotPowered));
+        assert_eq!(s.try_write_bytes(0, &[1]), Err(SramError::NotPowered));
+        assert_eq!(s.read_bit(0), Err(SramError::NotPowered));
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let mut s = array(16);
+        s.power_on().unwrap();
+        assert!(matches!(s.try_read_bytes(15, 2), Err(SramError::OutOfBounds { .. })));
+        assert!(matches!(s.write_bit(16 * 8, true), Err(SramError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn double_power_transitions_are_errors() {
+        let mut s = array(16);
+        s.power_on().unwrap();
+        assert!(matches!(s.power_on(), Err(SramError::InvalidPowerTransition { .. })));
+        s.power_off(OffEvent::unpowered()).unwrap();
+        assert!(matches!(
+            s.power_off(OffEvent::unpowered()),
+            Err(SramError::InvalidPowerTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn same_seed_same_powerup_state() {
+        let mut a = array(512);
+        let mut b = array(512);
+        a.power_on().unwrap();
+        b.power_on().unwrap();
+        assert_eq!(a.snapshot().unwrap(), b.snapshot().unwrap());
+    }
+
+    #[test]
+    fn successive_powerups_differ_by_about_ten_percent() {
+        let mut s = array(8192);
+        s.power_on().unwrap();
+        let first = s.snapshot().unwrap();
+        s.power_off(OffEvent::unpowered()).unwrap();
+        s.elapse(Duration::from_secs(10), Temperature::ROOM);
+        s.power_on().unwrap();
+        let second = s.snapshot().unwrap();
+        let hd = first.fractional_hamming(&second);
+        assert!((hd - 0.10).abs() < 0.02, "power-up noise {hd}");
+    }
+
+    #[test]
+    fn bit_level_access_roundtrip() {
+        let mut s = array(2);
+        s.power_on().unwrap();
+        s.fill(0x00).unwrap();
+        s.write_bit(3, true).unwrap();
+        s.write_bit(9, true).unwrap();
+        assert!(s.read_bit(3).unwrap());
+        assert!(s.read_bit(9).unwrap());
+        assert_eq!(s.read_bytes(0, 2), vec![0b0000_1000, 0b0000_0010]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for SRAM array operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible [`SramArray`](crate::SramArray) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SramError {
+    /// A read or write addressed a bit or byte beyond the end of the array.
+    OutOfBounds {
+        /// First bit index the operation touched that is out of range.
+        index: usize,
+        /// Total number of bits in the array.
+        len: usize,
+    },
+    /// A data access was attempted while the array was not powered.
+    ///
+    /// Real SRAM returns garbage or hangs the bus when accessed unpowered;
+    /// the model makes this an explicit error so experiments cannot
+    /// silently read stale state.
+    NotPowered,
+    /// `power_on` was called while the array was already powered, or
+    /// `power_off` while it was already off.
+    InvalidPowerTransition {
+        /// Human-readable description of the attempted transition.
+        attempted: &'static str,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::OutOfBounds { index, len } => {
+                write!(f, "bit index {index} out of bounds for array of {len} bits")
+            }
+            SramError::NotPowered => write!(f, "array accessed while unpowered"),
+            SramError::InvalidPowerTransition { attempted } => {
+                write!(f, "invalid power-state transition: {attempted}")
+            }
+        }
+    }
+}
+
+impl Error for SramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let messages = [
+            SramError::OutOfBounds { index: 9, len: 8 }.to_string(),
+            SramError::NotPowered.to_string(),
+            SramError::InvalidPowerTransition { attempted: "on while on" }.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.ends_with('.'), "{m:?} should not end with punctuation");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SramError>();
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic, allocation-free randomness for per-cell parameters.
+//!
+//! An [`SramArray`](crate::SramArray) can hold millions of cells, so we do
+//! not store the stochastic process-variation parameters of each cell.
+//! Instead every parameter is a pure function of `(array_seed, cell_index,
+//! stream)` evaluated on demand through a SplitMix64-style mixer. This
+//! keeps the model deterministic (the same seed always produces the same
+//! silicon), reproducible across runs, and memory-light.
+
+/// Streams separate the independent random quantities derived per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stream {
+    /// Power-up bias class and probability.
+    PowerUpBias,
+    /// Data-retention voltage.
+    Drv,
+    /// Leakage decay budget (lognormal multiplier).
+    DecayBudget,
+}
+
+impl Stream {
+    fn salt(self) -> u64 {
+        match self {
+            Stream::PowerUpBias => 0x9e37_79b9_7f4a_7c15,
+            Stream::Drv => 0xbf58_476d_1ce4_e5b9,
+            Stream::DecayBudget => 0x94d0_49bb_1331_11eb,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the raw 64-bit random word for one cell and stream.
+#[inline]
+pub(crate) fn cell_word(seed: u64, cell: usize, stream: Stream) -> u64 {
+    mix64(seed ^ stream.salt() ^ mix64(cell as u64))
+}
+
+/// Derives a per-event word (e.g. for one particular power-up event).
+#[inline]
+pub(crate) fn event_word(seed: u64, cell: usize, event: u64) -> u64 {
+    mix64(seed ^ 0xd6e8_feb8_6659_fd93 ^ mix64(cell as u64) ^ mix64(event))
+}
+
+/// Maps a 64-bit word to a uniform float in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps two 64-bit words to a standard normal sample (Box–Muller).
+#[inline]
+pub(crate) fn std_normal(w1: u64, w2: u64) -> f64 {
+    let u1 = unit_f64(w1).max(f64::MIN_POSITIVE);
+    let u2 = unit_f64(w2);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), mix64(1));
+        assert_ne!(mix64(1), 1);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let a = cell_word(7, 3, Stream::PowerUpBias);
+        let b = cell_word(7, 3, Stream::Drv);
+        let c = cell_word(7, 3, Stream::DecayBudget);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..10_000u64 {
+            let u = unit_f64(mix64(i));
+            assert!((0.0..1.0).contains(&u), "{u} out of range");
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_is_near_half() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| unit_f64(mix64(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let n = 100_000u64;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| std_normal(mix64(i), mix64(i ^ 0xabcdef)))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn event_words_vary_per_event() {
+        assert_ne!(event_word(1, 2, 0), event_word(1, 2, 1));
+        assert_eq!(event_word(1, 2, 0), event_word(1, 2, 0));
+    }
+}

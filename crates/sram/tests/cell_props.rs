@@ -1,0 +1,88 @@
+//! Property tests on the SRAM cell model.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use voltboot_sram::cell::CellDistribution;
+use voltboot_sram::{ArrayConfig, CellParams, OffEvent, SramArray, Temperature};
+
+proptest! {
+    /// Parameter derivation is a pure function of (seed, index).
+    #[test]
+    fn derivation_is_pure(seed in any::<u64>(), index in 0usize..1_000_000) {
+        let dist = CellDistribution::calibrated();
+        let a = CellParams::derive(seed, index, &dist);
+        let b = CellParams::derive(seed, index, &dist);
+        prop_assert_eq!(a, b);
+        prop_assert!((0.0..=1.0).contains(&a.powerup_bias));
+        prop_assert!(a.drv >= dist.drv_min && a.drv <= dist.drv_max);
+        prop_assert!(a.decay_budget > 0.0);
+    }
+
+    /// Writing then reading while powered is the identity, whatever the
+    /// power history before the write.
+    #[test]
+    fn powered_write_read_identity(
+        seed in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        cycles in 0usize..3,
+    ) {
+        let mut s = SramArray::new(ArrayConfig::with_bytes("p", 256), seed);
+        s.power_on().unwrap();
+        for _ in 0..cycles {
+            s.power_off(OffEvent::unpowered()).unwrap();
+            s.elapse(Duration::from_secs(1), Temperature::ROOM);
+            s.power_on().unwrap();
+        }
+        s.write_bytes(10, &data);
+        prop_assert_eq!(s.read_bytes(10, data.len()), data);
+    }
+
+    /// The retention report always accounts for every bit.
+    #[test]
+    fn retention_report_is_complete(seed in any::<u64>(), ms in 0u64..100, celsius in -150.0f64..80.0) {
+        let mut s = SramArray::new(ArrayConfig::with_bytes("p", 128), seed);
+        s.power_on().unwrap();
+        s.fill(0xA5).unwrap();
+        s.power_off(OffEvent::unpowered()).unwrap();
+        s.elapse(Duration::from_millis(ms), Temperature::from_celsius(celsius));
+        let report = s.power_on().unwrap();
+        prop_assert_eq!(report.retained + report.lost, 128 * 8);
+        prop_assert!((0.0..=1.0).contains(&report.retention_fraction()));
+    }
+
+    /// Holding at or above the distribution's maximum DRV is always
+    /// lossless; holding below the minimum always loses everything.
+    #[test]
+    fn drv_bounds_are_sharp(seed in any::<u64>()) {
+        let dist = CellDistribution::calibrated();
+        for (volts, expect_all) in [(dist.drv_max, true), (dist.drv_min - 0.01, false)] {
+            let mut s = SramArray::new(ArrayConfig::with_bytes("p", 128), seed);
+            s.power_on().unwrap();
+            s.fill(0x3C).unwrap();
+            s.power_off(OffEvent::held(volts)).unwrap();
+            s.elapse(Duration::from_secs(1), Temperature::ROOM);
+            let report = s.power_on().unwrap();
+            if expect_all {
+                prop_assert_eq!(report.lost, 0);
+            } else {
+                prop_assert_eq!(report.retained, 0);
+            }
+        }
+    }
+
+    /// Two arrays with the same seed behave identically through the same
+    /// power script (the "same die" guarantee the experiments rely on).
+    #[test]
+    fn same_seed_same_physics(seed in any::<u64>(), ms in 1u64..50) {
+        let run = |seed: u64| {
+            let mut s = SramArray::new(ArrayConfig::with_bytes("p", 256), seed);
+            s.power_on().unwrap();
+            s.fill(0x99).unwrap();
+            s.power_off(OffEvent::unpowered()).unwrap();
+            s.elapse(Duration::from_millis(ms), Temperature::from_celsius(-110.0));
+            s.power_on().unwrap();
+            s.snapshot().unwrap()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,45 @@
+//! Scenario: the *other* SRAM data-retention attack family (paper §9.2)
+//! — data imprinting through circuit aging — and why Volt Boot obsoletes
+//! it.
+//!
+//! If a cell holds the same value for years, bias-temperature
+//! instability shifts its power-up state toward that value. An attacker
+//! who later powers the chip up can recover a *partial* image of the
+//! long-held data — after a decade, and only statistically. Volt Boot
+//! needs seconds and is exact.
+//!
+//! ```text
+//! cargo run --release -p voltboot-repro --example aging_imprint
+//! ```
+
+use std::time::Duration;
+use voltboot_sram::imprint::{ImprintModel, ImprintedArray};
+use voltboot_sram::{ArrayConfig, SramArray};
+
+fn main() {
+    // A device that has held the same key material in one SRAM region
+    // for its whole service life.
+    let mut sram = SramArray::new(ArrayConfig::with_bytes("victim", 32), 0xA6E);
+    sram.power_on().expect("fresh array");
+    sram.write_bytes(0, b"long-lived secret key material..");
+
+    let mut imprint = ImprintedArray::begin(&sram, ImprintModel::calibrated());
+
+    println!("expected recovery of the imprinted data from one power-up image:\n");
+    println!("  {:<12} {:>10}", "aged", "recovery");
+    for years in [0u64, 1, 2, 5, 10, 20] {
+        let mut aged = imprint.clone();
+        aged.age(Duration::from_secs(years * 365 * 24 * 3600));
+        println!("  {:<12} {:>9.1}%", format!("{years} years"), aged.expected_recovery(&sram) * 100.0);
+    }
+
+    imprint.age(Duration::from_secs(10 * 365 * 24 * 3600));
+    println!(
+        "\nafter 10 years: {:.1}% expected recovery — against 50% chance level,",
+        imprint.expected_recovery(&sram) * 100.0
+    );
+    println!("still far from usable key material.");
+    println!("\nVolt Boot on the same array: attach a probe, cycle power, read 100%.");
+    println!("(See the quickstart example.) This is the paper's point: imprinting");
+    println!("attacks need a decade; power-domain separation needs a screwdriver.");
+}

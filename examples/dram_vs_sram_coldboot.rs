@@ -1,0 +1,84 @@
+//! Scenario: why the world moved keys on-chip — and why that stopped
+//! helping.
+//!
+//! Act 1 (the Halderman era): a key schedule in DRAM survives a chilled
+//! power cycle with a handful of directional bit decays; the classic
+//! repair search recovers the key.
+//!
+//! Act 2 (the on-chip era): the same schedule in NEON registers is
+//! immune to any cold boot — SRAM loses state in milliseconds and decays
+//! to an unbiased power-up state, so no repair is possible.
+//!
+//! Act 3 (Volt Boot): power domain separation re-opens the on-chip copy.
+//!
+//! ```text
+//! cargo run --release -p voltboot-repro --example dram_vs_sram_coldboot
+//! ```
+
+use voltboot::attack::{ColdBootAttack, Extraction, VoltBootAttack};
+use voltboot::dram_recovery::{recover_and_verify, GroundState};
+use voltboot_crypto::aes::{Aes, AesKey, KeySchedule};
+use voltboot_crypto::tresor::TresorContext;
+use voltboot_soc::devices;
+
+const SCHEDULE_ADDR: u64 = 0x30_0000;
+
+fn staged_device(seed: u64, key: &AesKey) -> voltboot_soc::Soc {
+    let mut soc = devices::raspberry_pi_4(seed);
+    soc.power_on_all();
+    let schedule = KeySchedule::expand(key);
+    soc.dram_mut().write(SCHEDULE_ADDR, &schedule.to_bytes()).unwrap();
+    TresorContext::install(&mut soc, 0, key).unwrap();
+    soc
+}
+
+fn main() {
+    let key = AesKey::Aes128(*b"generational key");
+    let probe = Aes::new(&key).encrypt_block(b"known plaintext!");
+    let verify = |aes: &Aes| aes.encrypt_block(b"known plaintext!") == probe;
+
+    // --- Act 1: chilled DRAM transplant -------------------------------
+    let mut soc = staged_device(1, &key);
+    let outcome = ColdBootAttack::new(-50.0, 30_000)
+        .extraction(Extraction::DramRaw { addr: SCHEDULE_ADDR, len: 4096 })
+        .execute(&mut soc)
+        .unwrap();
+    let dump = &outcome.image(&format!("dram@{SCHEDULE_ADDR:#x}")).unwrap().bits;
+    match recover_and_verify(dump, GroundState::Zero, verify) {
+        Some(rec) => println!(
+            "Act 1 — DRAM at -50 C, 30 s off: key RECOVERED ({} bit(s) repaired)",
+            rec.repaired_bits
+        ),
+        None => println!("Act 1 — DRAM at -50 C: key not recovered (unexpected)"),
+    }
+
+    // --- Act 2: the on-chip copy under the same cold boot --------------
+    let mut soc = staged_device(2, &key);
+    let outcome = ColdBootAttack::new(-50.0, 30_000)
+        .extraction(Extraction::Registers { cores: vec![0] })
+        .execute(&mut soc)
+        .unwrap();
+    let regs = &outcome.image("core0.vregs").unwrap().bits;
+    let exact = voltboot::analysis::find_key_schedules(regs);
+    let tolerant = voltboot::analysis::find_key_schedules_tolerant(regs, 4, 10);
+    println!(
+        "Act 2 — NEON registers, same cold boot: {} exact hits, {} tolerant hits (bistable SRAM has no decay direction)",
+        exact.len(),
+        tolerant.iter().filter(|(_, _, ks)| verify(&Aes::from_schedule(ks.clone()))).count()
+    );
+
+    // --- Act 3: Volt Boot on the on-chip copy --------------------------
+    let mut soc = staged_device(3, &key);
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Registers { cores: vec![0] })
+        .execute(&mut soc)
+        .unwrap();
+    let regs = &outcome.image("core0.vregs").unwrap().bits;
+    let stolen = voltboot::analysis::find_key_schedules(regs)
+        .into_iter()
+        .find(|(_, ks)| verify(&Aes::from_schedule(ks.clone())));
+    match stolen {
+        Some((off, _)) => println!("Act 3 — Volt Boot: key RECOVERED error-free at register offset {off}"),
+        None => println!("Act 3 — Volt Boot: key not recovered (unexpected)"),
+    }
+}

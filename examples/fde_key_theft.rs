@@ -1,0 +1,66 @@
+//! Scenario: stealing a full-disk-encryption key that "never leaves the
+//! chip" — the paper's motivating end-to-end attack.
+//!
+//! A device encrypts its storage with AES-128; following TRESOR-style
+//! hardening, the expanded key schedule lives only in the NEON register
+//! file. Cold boot cannot touch it. Volt Boot holds the core power
+//! domain across a power cycle, dumps the registers, finds a consistent
+//! AES key schedule in the image, and decrypts the stolen disk offline.
+//!
+//! ```text
+//! cargo run --release -p voltboot-repro --example fde_key_theft
+//! ```
+
+use voltboot::analysis;
+use voltboot::attack::{Extraction, VoltBootAttack};
+use voltboot_crypto::aes::Aes;
+use voltboot_crypto::fde::{EncryptedDisk, SECTOR_BYTES};
+use voltboot_crypto::tresor::TresorContext;
+use voltboot_soc::devices;
+
+fn main() {
+    // --- The victim's world -------------------------------------------
+    let mut disk = EncryptedDisk::create("owner-password", 0xD15C, 64);
+    let cipher = disk.unlock("owner-password").expect("owner knows the password");
+    let mut sector = [0u8; SECTOR_BYTES];
+    let secret = b"wallet-seed: pony torch vivid lobster amateur nephew";
+    sector[..secret.len()].copy_from_slice(secret);
+    disk.write_sector(&cipher, 7, &sector).expect("write");
+    println!("victim: disk sector 7 encrypted; raw ciphertext starts {:02x?}...",
+        &disk.raw_sector(7).unwrap()[..8]);
+
+    // The key schedule goes on-chip and nowhere else.
+    let mut soc = devices::raspberry_pi_4(0xD15C);
+    soc.power_on_all();
+    let key = cipher.schedule().original_key();
+    let ctx = TresorContext::install(&mut soc, 0, &key).expect("install");
+    println!("victim: AES-128 schedule installed in v0..v{} (TRESOR-style)\n", ctx.reg_count - 1);
+
+    // --- The attacker's world -----------------------------------------
+    // Physical access: probe on TP15, power cycle, dump the registers.
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Registers { cores: vec![0] })
+        .execute(&mut soc)
+        .expect("attack");
+    for step in &outcome.steps {
+        println!("  [{}] {}", step.step, step.detail);
+    }
+
+    // Scan the dump for byte runs that satisfy the AES key-expansion
+    // recurrence. Volt Boot images are error-free, so this is exact.
+    let image = &outcome.image("core0.vregs").unwrap().bits;
+    let schedules = analysis::find_key_schedules(image);
+    println!("\nkey-schedule scan: {} candidate(s) in the register dump", schedules.len());
+
+    for (offset, schedule) in schedules {
+        let candidate = Aes::from_schedule(schedule);
+        if disk.verify_cipher(&candidate) {
+            println!("  offset {offset}: VERIFIED against the stolen disk");
+            let plain = disk.read_sector(&candidate, 7).expect("read");
+            let text = String::from_utf8_lossy(&plain[..secret.len()]);
+            println!("  decrypted sector 7: {text:?}");
+            return;
+        }
+    }
+    println!("no working key recovered (did a countermeasure stop the attack?)");
+}

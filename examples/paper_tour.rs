@@ -1,0 +1,148 @@
+//! A narrated tour of the paper, section by section, in one run.
+//!
+//! Each stop reproduces one claim quickly (smaller sizes than the full
+//! regenerators, same mechanisms). Read alongside the paper — or
+//! `DESIGN.md` — to see which module realizes which claim.
+//!
+//! ```text
+//! cargo run --release -p voltboot-repro --example paper_tour
+//! ```
+
+use voltboot::analysis;
+use voltboot::attack::{ColdBootAttack, Extraction, VoltBootAttack};
+use voltboot::workloads;
+use voltboot_armlite::program::builders;
+use voltboot_pdn::Probe;
+use voltboot_soc::devices;
+
+fn stop(section: &str, claim: &str) {
+    println!("\n--- {section}: {claim}");
+}
+
+fn main() {
+    let seed = 0x70_u64;
+
+    stop("S2.1", "SRAM keeps data only above its retention voltage");
+    {
+        use voltboot_sram::{ArrayConfig, OffEvent, SramArray, Temperature};
+        let mut sram = SramArray::new(ArrayConfig::with_bytes("tour", 512), seed);
+        sram.power_on().unwrap();
+        sram.fill(0xA5).unwrap();
+        sram.power_off(OffEvent::held(0.55)).unwrap();
+        sram.elapse(std::time::Duration::from_secs(60), Temperature::ROOM);
+        let held = sram.power_on().unwrap().retention_fraction();
+        sram.power_off(OffEvent::held(0.15)).unwrap();
+        sram.elapse(std::time::Duration::from_secs(60), Temperature::ROOM);
+        let sagged = sram.power_on().unwrap().retention_fraction();
+        println!("held at 0.55 V: {:.1}% retained; sagged to 0.15 V: {:.1}%",
+            held * 100.0, sagged * 100.0);
+    }
+
+    stop("S3", "cold boot fails on on-chip SRAM at any survivable temperature");
+    {
+        let mut soc = devices::raspberry_pi_4(seed);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(512), 0x8_0000, 100_000);
+        let truth = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+        let outcome = ColdBootAttack::new(-40.0, 5).execute(&mut soc).unwrap();
+        let hd = analysis::fractional_hamming(&outcome.image("core0.l1i.way0").unwrap().bits, &truth);
+        println!("-40 C, 5 ms: fractional damage {hd:.3} — the victim's code is gone");
+    }
+
+    stop("S5", "power domain separation induces artificial retention");
+    {
+        let mut soc = devices::raspberry_pi_4(seed ^ 1);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(512), 0x8_0000, 100_000);
+        let truth = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+        let outcome = VoltBootAttack::new("TP15").execute(&mut soc).unwrap();
+        let img = &outcome.image("core0.l1i.way0").unwrap().bits;
+        println!(
+            "probe on TP15, power cycled: accuracy {:.1}% ({} NOP words recovered)",
+            (1.0 - analysis::fractional_hamming(img, &truth)) * 100.0,
+            analysis::count_pattern(img, &0xD503201Fu32.to_le_bytes())
+        );
+    }
+
+    stop("S6", "an under-powered probe fails during the disconnect surge");
+    {
+        let mut soc = devices::raspberry_pi_4(seed ^ 2);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(512), 0x8_0000, 100_000);
+        let truth = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+        let outcome = VoltBootAttack::new("TP15")
+            .probe(Probe::weak_source(0.0, 0.2))
+            .execute(&mut soc)
+            .unwrap();
+        println!(
+            "0.2 A source: rail sagged to {:.2} V, damage {:.1}%",
+            outcome.transient_min_voltage.unwrap(),
+            analysis::fractional_hamming(&outcome.image("core0.l1i.way0").unwrap().bits, &truth) * 100.0
+        );
+    }
+
+    stop("S7.2", "vector registers retain (TRESOR keys are exposed)");
+    {
+        let mut soc = devices::raspberry_pi_4(seed ^ 3);
+        soc.power_on_all();
+        workloads::register_fill(&mut soc, 0).unwrap();
+        let outcome = VoltBootAttack::new("TP15")
+            .extraction(Extraction::Registers { cores: vec![0] })
+            .execute(&mut soc)
+            .unwrap();
+        let bytes = outcome.image("core0.vregs").unwrap().bits.to_bytes();
+        println!("v0 after the cycle: {:02x?}... (the victim's 0xFF pattern)", &bytes[..4]);
+    }
+
+    stop("S7.3", "iRAM survives minus the boot ROM scratchpad");
+    {
+        let mut soc = devices::imx53_qsb(seed ^ 4);
+        soc.power_on_all();
+        let reference = workloads::iram_bitmap(&mut soc).unwrap();
+        let outcome = VoltBootAttack::new("SH13")
+            .extraction(Extraction::IramJtag)
+            .execute(&mut soc)
+            .unwrap();
+        let dump = &outcome.image("iram").unwrap().bits;
+        println!(
+            "error {:.2}%; damage map (1 row = whole iRAM):\n{}",
+            analysis::fractional_hamming(dump, &reference) * 100.0,
+            analysis::diff_map(&reference, dump, 64, 1)
+        );
+    }
+
+    stop("S8", "countermeasures: what stops the attack and what does not");
+    {
+        use voltboot::countermeasures::Countermeasure;
+        for cm in [
+            Countermeasure::PowerDownPurge,
+            Countermeasure::MandatedAuthenticatedBoot,
+            Countermeasure::BootTimeMemoryReset,
+        ] {
+            let mut soc = devices::raspberry_pi_4(seed ^ 5 ^ cm as u64);
+            soc.power_on_all();
+            cm.apply(&mut soc);
+            soc.enable_caches(0);
+            soc.run_program(0, &builders::fill_bytes(0x10_0000, 0xAA, 2048), 0x8_0000, 10_000_000);
+            let verdict = match VoltBootAttack::new("TP15").execute(&mut soc) {
+                Ok(outcome) => {
+                    let n: usize = outcome
+                        .images_matching("core0.l1d")
+                        .map(|i| i.bits.to_bytes().iter().filter(|&&b| b == 0xAA).count())
+                        .sum();
+                    if n > 1000 { "attack succeeds" } else { "attack stopped" }
+                }
+                Err(e) => {
+                    println!("  {}: attack stopped ({e})", cm.name());
+                    continue;
+                }
+            };
+            println!("  {}: {verdict}", cm.name());
+        }
+    }
+
+    println!("\nTour complete. The full-size regenerators live in voltboot-bench.");
+}

@@ -1,0 +1,48 @@
+//! Scenario: why vendors leave SRAM uninitialized at boot (paper §5.2.4)
+//! — the power-up state is a feature: a PUF fingerprint and a TRNG.
+//!
+//! This is the design tension behind the "reset SRAM at startup"
+//! countermeasure: a hardware boot-time wipe would close Volt Boot's
+//! extraction window *and* destroy these applications.
+//!
+//! ```text
+//! cargo run --release -p voltboot-repro --example puf_fingerprint
+//! ```
+
+use voltboot_sram::puf::{powerup_samples, trng_extract, EnrolledPuf};
+
+fn main() {
+    // Enroll die #1 from five power-up samples.
+    let mut die1 = voltboot_sram::puf::test_array("die1", 1024, 1);
+    let samples = powerup_samples(&mut die1, 5);
+    let puf = EnrolledPuf::enroll(&samples);
+    println!(
+        "enrolled die 1: {:.1}% of cells stable across 5 power-ups",
+        puf.stable_fraction() * 100.0
+    );
+
+    // Authenticate: the same die matches, other dies do not.
+    let fresh = powerup_samples(&mut die1, 1).pop().unwrap();
+    println!("\nauthentication distances (threshold {:.2}):", puf.threshold);
+    println!("  die 1 (same silicon):    {:.3}  -> {}", puf.distance(&fresh),
+        if puf.matches(&fresh) { "MATCH" } else { "reject" });
+    for seed in 2..6 {
+        let mut other = voltboot_sram::puf::test_array("other", 1024, seed);
+        let response = powerup_samples(&mut other, 1).pop().unwrap();
+        println!("  die {seed} (different die):  {:.3}  -> {}", puf.distance(&response),
+            if puf.matches(&response) { "MATCH" } else { "reject" });
+    }
+
+    // TRNG: von Neumann debiasing of two power-ups.
+    let mut entropy_die = voltboot_sram::puf::test_array("trng", 4096, 99);
+    let pair = powerup_samples(&mut entropy_die, 2);
+    let bits = trng_extract(&pair[0], &pair[1]);
+    let ones = bits.iter().filter(|&&b| b).count();
+    println!(
+        "\nTRNG: {} unbiased bits from two power-ups of 4 KB ({:.1}% ones)",
+        bits.len(),
+        ones as f64 / bits.len() as f64 * 100.0
+    );
+    println!("\nA boot-time SRAM wipe (the MBIST countermeasure) would erase the");
+    println!("fingerprint before software could read it — security vs. utility.");
+}

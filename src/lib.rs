@@ -1,0 +1,22 @@
+//! Umbrella crate for the Volt Boot reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and the
+//! cross-crate integration tests in `tests/`. The library surface simply
+//! re-exports the stack:
+//!
+//! * [`voltboot`] — attack orchestration, analysis, experiments;
+//! * [`voltboot_soc`] — the simulated devices;
+//! * [`voltboot_sram`] / [`voltboot_pdn`] / [`voltboot_armlite`] — the
+//!   physics, power, and CPU substrates;
+//! * [`voltboot_crypto`] — AES and the on-chip key-storage victims.
+//!
+//! Start with `examples/quickstart.rs`.
+
+#![forbid(unsafe_code)]
+
+pub use voltboot;
+pub use voltboot_armlite;
+pub use voltboot_crypto;
+pub use voltboot_pdn;
+pub use voltboot_soc;
+pub use voltboot_sram;

@@ -1,0 +1,131 @@
+//! Cross-crate integration: the full Volt Boot pipeline on all three
+//! evaluation platforms.
+
+use voltboot::analysis;
+use voltboot::attack::{Extraction, VoltBootAttack};
+use voltboot::workloads;
+use voltboot_pdn::Probe;
+use voltboot_soc::devices;
+
+#[test]
+fn pi4_cache_attack_is_bit_exact_on_all_cores() {
+    let mut soc = devices::raspberry_pi_4(0x1111);
+    soc.power_on_all();
+    workloads::baremetal_nop_fill(&mut soc).unwrap();
+    let truth: Vec<_> = (0..4)
+        .map(|c| {
+            (0..3).map(|w| soc.core(c).unwrap().l1i.way_image(w).unwrap()).collect::<Vec<_>>()
+        })
+        .collect();
+
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Caches { cores: vec![0, 1, 2, 3] })
+        .execute(&mut soc)
+        .unwrap();
+
+    assert!(outcome.rail_held);
+    for core in 0..4 {
+        for way in 0..3 {
+            let img = outcome.image(&format!("core{core}.l1i.way{way}")).unwrap();
+            assert_eq!(img.bits, truth[core][way], "core {core} way {way} must be bit-exact");
+        }
+    }
+    // 4 cores x (2 d-ways + 3 i-ways) images.
+    assert_eq!(outcome.images.len(), 4 * 5);
+}
+
+#[test]
+fn pi3_attack_works_at_its_higher_rail_voltage() {
+    let mut soc = devices::raspberry_pi_3(0x3333);
+    soc.power_on_all();
+    workloads::baremetal_nop_fill(&mut soc).unwrap();
+    let truth = soc.core(2).unwrap().l1i.way_image(0).unwrap();
+    let outcome = VoltBootAttack::new("PP58")
+        .extraction(Extraction::Caches { cores: vec![2] })
+        .execute(&mut soc)
+        .unwrap();
+    // PP58 sits on a 1.2 V rail; the probe must have attached there.
+    let attach = outcome.steps.iter().find(|s| s.step == "attach").unwrap();
+    assert!(attach.detail.contains("1.20 V"), "{}", attach.detail);
+    assert_eq!(outcome.image("core2.l1i.way0").unwrap().bits, truth);
+}
+
+#[test]
+fn imx_iram_attack_without_boot_media() {
+    let mut soc = devices::imx53_qsb(0x5555);
+    soc.power_on_all();
+    let reference = workloads::iram_bitmap(&mut soc).unwrap();
+    let outcome = VoltBootAttack::new("SH13")
+        .extraction(Extraction::IramJtag)
+        .execute(&mut soc)
+        .unwrap();
+    // Boots from internal ROM: the reboot step must say so implicitly
+    // (no external media; entry 0).
+    let reboot = outcome.steps.iter().find(|s| s.step == "reboot").unwrap();
+    assert!(reboot.detail.contains("entry 0x0"), "{}", reboot.detail);
+
+    let dump = &outcome.image("iram").unwrap().bits;
+    let error = analysis::fractional_hamming(dump, &reference);
+    assert!(error > 0.015 && error < 0.04, "iram error {error}");
+}
+
+#[test]
+fn weak_probe_fails_exactly_where_the_paper_says() {
+    // The Pi 4's core rail also powers the CPU cluster: an underpowered
+    // probe folds back during the disconnect surge and cells whose DRV
+    // exceeds the sagged voltage lose state.
+    let mut soc = devices::raspberry_pi_4(0x7777);
+    soc.power_on_all();
+    workloads::baremetal_nop_fill(&mut soc).unwrap();
+    let truth = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+    let outcome = VoltBootAttack::new("TP15")
+        .probe(Probe::weak_source(0.0, 0.2))
+        .execute(&mut soc)
+        .unwrap();
+    assert!(outcome.rail_held, "the rail is held, just sagging");
+    assert!(outcome.transient_min_voltage.unwrap() < 0.3);
+    let got = &outcome.image("core0.l1i.way0").unwrap().bits;
+    let hd = analysis::fractional_hamming(got, &truth);
+    assert!(hd > 0.05, "sag below DRV must corrupt cells, hd={hd}");
+
+    // The same weak probe on the i.MX535's SRAM-only rail succeeds:
+    // there is no core surge on VDDAL1.
+    let mut imx = devices::imx53_qsb(0x7778);
+    imx.power_on_all();
+    let reference = workloads::iram_bitmap(&mut imx).unwrap();
+    let outcome = VoltBootAttack::new("SH13")
+        .probe(Probe::weak_source(0.0, 0.2))
+        .extraction(Extraction::IramJtag)
+        .execute(&mut imx)
+        .unwrap();
+    let dump = &outcome.image("iram").unwrap().bits;
+    let error = analysis::fractional_hamming(dump, &reference);
+    assert!(error < 0.04, "SRAM-only rail holds even with a weak source: {error}");
+}
+
+#[test]
+fn attack_steps_follow_figure_5() {
+    let mut soc = devices::raspberry_pi_4(0x9999);
+    soc.power_on_all();
+    let outcome = VoltBootAttack::new("TP15").execute(&mut soc).unwrap();
+    let steps: Vec<&str> = outcome.steps.iter().map(|s| s.step.as_str()).collect();
+    assert_eq!(steps, vec!["identify", "attach", "power-cycle", "reboot", "extract"]);
+}
+
+#[test]
+fn repeated_attacks_on_the_same_die_are_stable() {
+    // The probe stays attached; a second power cycle retains again.
+    let mut soc = devices::raspberry_pi_4(0xAAAA);
+    soc.power_on_all();
+    workloads::baremetal_nop_fill(&mut soc).unwrap();
+    let truth = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+
+    let first = VoltBootAttack::new("TP15").execute(&mut soc).unwrap();
+    assert_eq!(first.image("core0.l1i.way0").unwrap().bits, truth);
+
+    // Second cycle: probe already attached -> the attach step fails, but
+    // a manual power cycle through the soc API still retains.
+    let report = soc.power_cycle(voltboot_soc::PowerCycleSpec::quick()).unwrap();
+    assert!(report.outcome.rail("VDD_CORE").unwrap().is_held());
+    assert_eq!(soc.core(0).unwrap().l1i.way_image(0).unwrap(), truth);
+}

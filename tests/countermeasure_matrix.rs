@@ -1,0 +1,80 @@
+//! Cross-crate integration: the §8 countermeasure matrix end to end.
+
+use voltboot::attack::{Extraction, VoltBootAttack};
+use voltboot::countermeasures::{mark_dcache_secure, Countermeasure};
+use voltboot::error::AttackError;
+use voltboot_armlite::program::builders;
+use voltboot_soc::devices;
+
+fn staged_with(cm: Countermeasure, seed: u64) -> voltboot_soc::Soc {
+    let mut soc = devices::raspberry_pi_4(seed);
+    soc.power_on_all();
+    cm.apply(&mut soc);
+    soc.enable_caches(0);
+    let p = builders::fill_bytes(0x10_0000, 0xAA, 4 * 1024);
+    soc.run_program(0, &p, 0x8_0000, 50_000_000);
+    soc
+}
+
+fn aa_bytes_recovered(soc: &mut voltboot_soc::Soc) -> Result<usize, AttackError> {
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Caches { cores: vec![0] })
+        .execute(soc)?;
+    Ok(outcome
+        .images_matching("core0.l1d")
+        .map(|img| img.bits.to_bytes().iter().filter(|&&b| b == 0xAA).count())
+        .sum())
+}
+
+#[test]
+fn baseline_attack_recovers_the_pattern() {
+    let mut soc = staged_with(Countermeasure::None, 0xC0);
+    assert!(aa_bytes_recovered(&mut soc).unwrap() >= 4 * 1024);
+}
+
+#[test]
+fn mbist_reset_defeats_extraction() {
+    let mut soc = staged_with(Countermeasure::BootTimeMemoryReset, 0xC1);
+    assert!(aa_bytes_recovered(&mut soc).unwrap() < 64);
+}
+
+#[test]
+fn authenticated_boot_defeats_reboot_step() {
+    let mut soc = staged_with(Countermeasure::MandatedAuthenticatedBoot, 0xC2);
+    assert!(matches!(aa_bytes_recovered(&mut soc), Err(AttackError::BootDefeated { .. })));
+}
+
+#[test]
+fn trustzone_blocks_secure_lines_only() {
+    let mut soc = staged_with(Countermeasure::TrustZoneEnforcement, 0xC3);
+    mark_dcache_secure(&mut soc, 0).unwrap();
+    // The extraction hits a secure line and is denied.
+    assert!(matches!(aa_bytes_recovered(&mut soc), Err(AttackError::ExtractionDenied { .. })));
+}
+
+#[test]
+fn trustzone_without_secure_marking_changes_nothing() {
+    // Enforcement is only as good as the NS bits: if the victim's lines
+    // were filled from the non-secure world, the attacker reads them.
+    let mut soc = devices::raspberry_pi_4(0xC4);
+    soc.power_on_all();
+    Countermeasure::TrustZoneEnforcement.apply(&mut soc);
+    soc.core_mut(0).unwrap().security = voltboot_soc::cache::SecurityState::NonSecure;
+    soc.enable_caches(0);
+    let p = builders::fill_bytes(0x10_0000, 0xAA, 4 * 1024);
+    soc.run_program(0, &p, 0x8_0000, 50_000_000);
+    assert!(aa_bytes_recovered(&mut soc).unwrap() >= 4 * 1024);
+}
+
+#[test]
+fn l2_reset_pin_does_not_protect_l1() {
+    let mut soc = staged_with(Countermeasure::L2ResetPin, 0xC5);
+    assert!(aa_bytes_recovered(&mut soc).unwrap() >= 4 * 1024);
+}
+
+#[test]
+fn purge_handler_is_skipped_by_abrupt_disconnect() {
+    let mut soc = staged_with(Countermeasure::PowerDownPurge, 0xC6);
+    // No orderly shutdown happens: the attack cuts power abruptly.
+    assert!(aa_bytes_recovered(&mut soc).unwrap() >= 4 * 1024);
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration: the attack machinery fails loudly and
+//! gracefully when preconditions are missing — no panics, typed errors.
+
+use voltboot::attack::{Extraction, VoltBootAttack};
+use voltboot::error::AttackError;
+use voltboot_pdn::{PdnError, Probe};
+use voltboot_soc::{devices, PowerCycleSpec, SocError};
+
+#[test]
+fn attacking_a_board_that_was_never_powered_fails_cleanly() {
+    let mut soc = devices::raspberry_pi_4(0xF0);
+    let err = VoltBootAttack::new("TP15").execute(&mut soc).unwrap_err();
+    assert!(matches!(err, AttackError::Soc(SocError::NotPowered)));
+}
+
+#[test]
+fn probing_an_unknown_pad_fails_cleanly() {
+    let mut soc = devices::raspberry_pi_4(0xF1);
+    soc.power_on_all();
+    let err = VoltBootAttack::new("TP99").execute(&mut soc).unwrap_err();
+    assert!(matches!(
+        err,
+        AttackError::Soc(SocError::Pdn(PdnError::UnknownProbePoint { .. }))
+    ));
+}
+
+#[test]
+fn wrong_probe_setpoint_is_rejected_at_attach() {
+    let mut soc = devices::raspberry_pi_4(0xF2);
+    soc.power_on_all();
+    // A probe hard-set to 3.3 V against the 0.8 V core pad.
+    let err = VoltBootAttack::new("TP15")
+        .probe(Probe::bench_supply(3.3, 3.0))
+        .execute(&mut soc)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        AttackError::Soc(SocError::Pdn(PdnError::ProbeVoltageMismatch { .. }))
+    ));
+}
+
+#[test]
+fn second_attack_with_probe_still_attached_fails_at_attach() {
+    let mut soc = devices::raspberry_pi_4(0xF3);
+    soc.power_on_all();
+    VoltBootAttack::new("TP15").execute(&mut soc).unwrap();
+    let err = VoltBootAttack::new("TP15").execute(&mut soc).unwrap_err();
+    assert!(matches!(
+        err,
+        AttackError::Soc(SocError::Pdn(PdnError::ProbeAlreadyAttached { .. }))
+    ));
+    // Detaching recovers.
+    soc.network_mut().detach_probe("TP15").unwrap();
+    assert!(VoltBootAttack::new("TP15").execute(&mut soc).is_ok());
+}
+
+#[test]
+fn tlb_extraction_on_a_missing_core_is_a_configuration_error() {
+    let mut soc = devices::imx53_qsb(0xF4);
+    soc.power_on_all();
+    let err = VoltBootAttack::new("SH13")
+        .extraction(Extraction::Tlbs { cores: vec![3] })
+        .execute(&mut soc)
+        .unwrap_err();
+    assert!(matches!(err, AttackError::BadConfiguration { .. }));
+}
+
+#[test]
+fn dram_dump_past_the_end_is_unmapped() {
+    let mut soc = devices::raspberry_pi_4(0xF5);
+    soc.power_on_all();
+    let err = VoltBootAttack::new("TP15")
+        .extraction(Extraction::DramRaw { addr: u64::MAX - 8, len: 64 })
+        .execute(&mut soc)
+        .unwrap_err();
+    assert!(matches!(err, AttackError::Soc(SocError::Unmapped { .. })));
+}
+
+#[test]
+fn power_cycle_during_held_state_keeps_soc_usable_after_errors() {
+    // An error mid-flow must not leave the device in a broken state.
+    let mut soc = devices::raspberry_pi_4(0xF6);
+    soc.power_on_all();
+    // Fail once at the pad.
+    let _ = VoltBootAttack::new("TP99").execute(&mut soc);
+    // The board still works: programs run, a proper attack succeeds.
+    soc.enable_caches(0);
+    let exit = soc.run_program(
+        0,
+        &voltboot_armlite::program::builders::nop_sled(16),
+        0x8_0000,
+        10_000,
+    );
+    assert!(matches!(exit, voltboot_armlite::RunExit::Halted(0)));
+    assert!(VoltBootAttack::new("TP15").execute(&mut soc).is_ok());
+}
+
+#[test]
+fn double_main_disconnect_is_guarded() {
+    let mut soc = devices::raspberry_pi_4(0xF7);
+    soc.power_on_all();
+    soc.network_mut().disconnect_main().unwrap();
+    // A power cycle on an already-disconnected board surfaces the guard.
+    let err = soc.power_cycle(PowerCycleSpec::quick()).unwrap_err();
+    assert!(matches!(err, SocError::Pdn(PdnError::InvalidMainTransition { .. })));
+}

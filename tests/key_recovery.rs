@@ -1,0 +1,113 @@
+//! Cross-crate integration: on-chip crypto schemes vs the attack.
+
+use voltboot::analysis;
+use voltboot::attack::{ColdBootAttack, Extraction, VoltBootAttack};
+use voltboot_crypto::aes::{Aes, AesKey};
+use voltboot_crypto::case_exec::CaseEnclave;
+use voltboot_crypto::tresor::TresorContext;
+use voltboot_soc::devices;
+
+#[test]
+fn tresor_aes256_schedule_is_recoverable() {
+    let key = AesKey::Aes256([0x42; 32]);
+    let mut soc = devices::raspberry_pi_4(0xA256);
+    soc.power_on_all();
+    TresorContext::install(&mut soc, 0, &key).unwrap();
+
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Registers { cores: vec![0] })
+        .execute(&mut soc)
+        .unwrap();
+    let image = &outcome.image("core0.vregs").unwrap().bits;
+    let found = analysis::find_key_schedules(image);
+    assert!(
+        found.iter().any(|(_, ks)| ks.original_key() == key),
+        "AES-256 schedule must be findable in the register dump"
+    );
+}
+
+#[test]
+fn case_enclave_schedule_is_recoverable_from_cache_images() {
+    let key = AesKey::Aes128(*b"locked-way-key!!");
+    let mut soc = devices::raspberry_pi_4(0xCA5E);
+    soc.power_on_all();
+    CaseEnclave::install(&mut soc, 0, 0x9000, &key).unwrap();
+
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Caches { cores: vec![0] })
+        .execute(&mut soc)
+        .unwrap();
+    let mut found_key = false;
+    for img in outcome.images_matching("core0.l1d") {
+        for (_, ks) in analysis::find_key_schedules(&img.bits) {
+            if ks.original_key() == key {
+                found_key = true;
+            }
+        }
+    }
+    assert!(found_key, "the locked-way schedule must appear in a d-cache image");
+}
+
+#[test]
+fn cold_boot_recovers_no_schedule_and_tolerant_search_does_not_help() {
+    let key = AesKey::Aes128([0x24; 16]);
+    let mut soc = devices::raspberry_pi_4(0xC0DE);
+    soc.power_on_all();
+    TresorContext::install(&mut soc, 0, &key).unwrap();
+
+    let outcome = ColdBootAttack::new(-40.0, 5)
+        .extraction(Extraction::Registers { cores: vec![0] })
+        .execute(&mut soc)
+        .unwrap();
+    let image = &outcome.image("core0.vregs").unwrap().bits;
+
+    assert!(analysis::find_key_schedules(image).is_empty(), "exact scan must find nothing");
+    // Even a very tolerant Halderman-style search cannot fix a bistable
+    // SRAM wipe: the key words themselves are gone.
+    let tolerant = analysis::find_key_schedules_tolerant(image, 4, 20);
+    assert!(
+        tolerant.iter().all(|(_, _, ks)| ks.original_key() != key),
+        "tolerant search must not resurrect the key from random bits"
+    );
+}
+
+#[test]
+fn stolen_schedule_decrypts_real_ciphertext() {
+    let key = AesKey::Aes128(*b"disk encryption!");
+    let reference = Aes::new(&key);
+    let ciphertext = reference.encrypt_block(b"sixteen byte blk");
+
+    let mut soc = devices::raspberry_pi_4(0xD15C);
+    soc.power_on_all();
+    TresorContext::install(&mut soc, 0, &key).unwrap();
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Registers { cores: vec![0] })
+        .execute(&mut soc)
+        .unwrap();
+
+    let image = &outcome.image("core0.vregs").unwrap().bits;
+    let (_, schedule) = analysis::find_key_schedules(image).pop().expect("schedule found");
+    let stolen = Aes::from_schedule(schedule);
+    assert_eq!(&stolen.decrypt_block(&ciphertext), b"sixteen byte blk");
+}
+
+#[test]
+fn zeroized_registers_yield_nothing() {
+    // The defender's orderly path: zeroize before shutdown.
+    let key = AesKey::Aes128([0x77; 16]);
+    let mut soc = devices::raspberry_pi_4(0x2E20);
+    soc.power_on_all();
+    let ctx = TresorContext::install(&mut soc, 0, &key).unwrap();
+    ctx.zeroize(&mut soc).unwrap();
+
+    let outcome = VoltBootAttack::new("TP15")
+        .extraction(Extraction::Registers { cores: vec![0] })
+        .execute(&mut soc)
+        .unwrap();
+    let image = &outcome.image("core0.vregs").unwrap().bits;
+    // The schedule registers (v0..v10) are zero; the untouched rest of
+    // the file still holds its SRAM power-up garbage, which is harmless.
+    let schedule_bytes = image.bytes_at(0, 11 * 16);
+    assert!(schedule_bytes.iter().all(|&b| b == 0), "schedule registers must be zero");
+    assert!(analysis::find_key_schedules(image).is_empty());
+}

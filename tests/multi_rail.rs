@@ -1,0 +1,88 @@
+//! Cross-crate integration: holding *multiple* rails at once.
+//!
+//! The paper holds one domain per attack. Nothing stops an attacker
+//! with two probes: holding VDD_MEM as well keeps the shared L2's SRAM
+//! alive across the cycle — but on the Broadcom parts the VideoCore
+//! still clobbers L2 during boot, so the binding constraint there is the
+//! boot path, not the physics. This test pins down both halves of that
+//! statement.
+
+use voltboot_pdn::{Probe, ProbePoint};
+use voltboot_soc::{devices, BootSource, PowerCycleSpec};
+
+/// Adds a (hypothetical) test pad on the memory rail; real boards expose
+/// one near the PMIC just like TP15.
+fn pi4_with_mem_pad(seed: u64) -> voltboot_soc::Soc {
+    let mut soc = devices::raspberry_pi_4(seed);
+    // The device catalog builds the network; extend it with a second pad.
+    *soc.network_mut() = soc
+        .network()
+        .clone()
+        .with_probe_point(ProbePoint::new("TP_MEM", "VDD_MEM", "memory-rail pad"));
+    soc
+}
+
+fn stage_l2_pattern(soc: &mut voltboot_soc::Soc) -> usize {
+    soc.power_on_all();
+    soc.enable_l2();
+    soc.enable_caches(0);
+    let p = voltboot_armlite::program::builders::fill_bytes(0x20_0000, 0x3C, 64 * 1024);
+    soc.run_program(0, &p, 0x8_0000, 50_000_000);
+    l2_pattern_runs(soc)
+}
+
+fn l2_pattern_runs(soc: &voltboot_soc::Soc) -> usize {
+    let g = soc.l2().geometry();
+    (0..g.ways)
+        .map(|way| {
+            soc.l2()
+                .raw_way_bytes(way, 0, g.sets() * g.line_bytes)
+                .unwrap()
+                .chunks_exact(16)
+                .filter(|c| c.iter().all(|&b| b == 0x3C))
+                .count()
+        })
+        .sum()
+}
+
+#[test]
+fn holding_both_rails_retains_l2_through_the_power_cycle() {
+    let mut soc = pi4_with_mem_pad(0x2A11);
+    let before = stage_l2_pattern(&mut soc);
+    assert!(before > 1000, "L2 staged: {before} runs");
+
+    soc.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+    soc.attach_probe("TP_MEM", Probe::bench_supply(1.1, 3.0)).unwrap();
+    let report = soc.power_cycle(PowerCycleSpec::quick()).unwrap();
+    assert!(report.outcome.rail("VDD_CORE").unwrap().is_held());
+    assert!(report.outcome.rail("VDD_MEM").unwrap().is_held());
+
+    // Physics: the L2 SRAM retained everything across the cycle.
+    assert_eq!(l2_pattern_runs(&soc), before, "held VDD_MEM must retain L2");
+}
+
+#[test]
+fn videocore_boot_still_clobbers_the_retained_l2() {
+    let mut soc = pi4_with_mem_pad(0x2A12);
+    let before = stage_l2_pattern(&mut soc);
+    soc.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+    soc.attach_probe("TP_MEM", Probe::bench_supply(1.1, 3.0)).unwrap();
+    soc.power_cycle(PowerCycleSpec::quick()).unwrap();
+    assert_eq!(l2_pattern_runs(&soc), before);
+
+    // ...but the attacker still has to boot, and the VideoCore runs first.
+    soc.boot(BootSource::ExternalMedia { image: vec![0; 4], entry: 0x1000, signed: false })
+        .unwrap();
+    assert_eq!(l2_pattern_runs(&soc), 0, "boot clobber is the binding constraint on L2");
+}
+
+#[test]
+fn single_core_probe_loses_l2_as_in_the_paper() {
+    let mut soc = pi4_with_mem_pad(0x2A13);
+    let before = stage_l2_pattern(&mut soc);
+    assert!(before > 1000);
+    soc.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+    soc.power_cycle(PowerCycleSpec::quick()).unwrap();
+    let after = l2_pattern_runs(&soc);
+    assert!(after * 50 < before, "unheld VDD_MEM loses the L2: {before} -> {after}");
+}

@@ -1,0 +1,209 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use voltboot_crypto::aes::{Aes, AesKey};
+use voltboot_pdn::{DisconnectTransient, Probe, Rail, RegulatorKind, SurgeProfile};
+use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, SramArray, Temperature};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Anything written to a held array comes back identical, for any
+    /// data, any duration, any temperature.
+    #[test]
+    fn held_rail_is_lossless(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        hours in 1u64..10_000,
+        celsius in -150.0f64..85.0,
+    ) {
+        let mut s = SramArray::new(ArrayConfig::with_bytes("p", data.len()), 0xBEEF);
+        s.power_on().unwrap();
+        s.write_bytes(0, &data);
+        s.power_off(OffEvent::held(0.8)).unwrap();
+        s.elapse(Duration::from_secs(hours * 3600), Temperature::from_celsius(celsius));
+        let report = s.power_on().unwrap();
+        prop_assert_eq!(report.lost, 0);
+        prop_assert_eq!(s.read_bytes(0, data.len()), data);
+    }
+
+    /// Retention is monotone in hold voltage: a higher steady voltage
+    /// never retains fewer cells.
+    #[test]
+    fn retention_monotone_in_voltage(seed in any::<u64>()) {
+        let mut last = 0usize;
+        for centivolts in [5u32, 15, 25, 35, 45, 60] {
+            let v = centivolts as f64 / 100.0;
+            let mut s = SramArray::new(ArrayConfig::with_bytes("p", 512), seed);
+            s.power_on().unwrap();
+            s.fill(0xA5).unwrap();
+            s.power_off(OffEvent::held(v)).unwrap();
+            s.elapse(Duration::from_millis(100), Temperature::ROOM);
+            let retained = s.power_on().unwrap().retained;
+            prop_assert!(retained >= last, "retention dropped from {} to {} at {} V", last, retained, v);
+            last = retained;
+        }
+        // End points: 0.05 V keeps nothing, 0.60 V keeps everything.
+        prop_assert_eq!(last, 512 * 8);
+    }
+
+    /// Retention is antitone in unpowered off-time.
+    #[test]
+    fn retention_antitone_in_off_time(seed in any::<u64>()) {
+        let mut last = usize::MAX;
+        for millis in [1u64, 10, 30, 100, 1000] {
+            let mut s = SramArray::new(ArrayConfig::with_bytes("p", 512), seed);
+            s.power_on().unwrap();
+            s.fill(0xA5).unwrap();
+            s.power_off(OffEvent::unpowered()).unwrap();
+            s.elapse(Duration::from_millis(millis), Temperature::from_celsius(-110.0));
+            let retained = s.power_on().unwrap().retained;
+            prop_assert!(retained <= last, "retention grew from {} to {} at {} ms", last, retained, millis);
+            last = retained;
+        }
+    }
+
+    /// Fractional Hamming distance is a metric-like quantity: symmetric,
+    /// zero on identity, and within [0, 1].
+    #[test]
+    fn hamming_axioms(a in proptest::collection::vec(any::<u8>(), 1..256), flips in 0usize..64) {
+        let bits_a = PackedBits::from_bytes(&a);
+        let mut bits_b = bits_a.clone();
+        for k in 0..flips.min(bits_a.len()) {
+            let i = (k * 2654435761) % bits_a.len();
+            bits_b.set(i, !bits_b.get(i));
+        }
+        prop_assert_eq!(bits_a.fractional_hamming(&bits_a), 0.0);
+        prop_assert_eq!(bits_a.hamming(&bits_b), bits_b.hamming(&bits_a));
+        let f = bits_a.fractional_hamming(&bits_b);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Windowed sums equal the total.
+        let windows = bits_a.windowed_hamming(&bits_b, 64);
+        prop_assert_eq!(windows.iter().sum::<usize>(), bits_a.hamming(&bits_b));
+    }
+
+    /// AES decrypt ∘ encrypt is the identity for arbitrary keys/blocks,
+    /// and corrupting the schedule breaks consistency.
+    #[test]
+    fn aes_roundtrip_and_schedule_consistency(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes::new(&AesKey::Aes128(key));
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        let schedule = aes.schedule();
+        prop_assert!(schedule.is_consistent());
+        let original = schedule.original_key();
+        prop_assert_eq!(original.bytes(), &key[..]);
+    }
+
+    /// PDN droop is monotone in surge current and never negative.
+    #[test]
+    fn droop_monotone_in_surge(limit_deciamps in 1u32..60) {
+        let probe = Probe::bench_supply(0.8, limit_deciamps as f64 / 10.0);
+        let rail = Rail::new("r", 0.8, RegulatorKind::Buck);
+        let mut last = f64::INFINITY;
+        for surge in [0.1f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let t = DisconnectTransient::compute(
+                &probe,
+                &rail,
+                &SurgeProfile { steady_current: 0.1, surge_current: surge, surge_duration: 20e-6 },
+            );
+            prop_assert!(t.min_voltage >= 0.0);
+            prop_assert!(t.min_voltage <= last + 1e-12);
+            last = t.min_voltage;
+        }
+    }
+
+    /// Instruction encode/decode round-trips for arbitrary operands of
+    /// representative instruction shapes.
+    #[test]
+    fn instruction_roundtrip(rd in 0u8..32, rn in 0u8..32, imm in 0u16..4096, off in -1000i32..1000) {
+        use voltboot_armlite::insn::{Instr, Reg};
+        let cases = [
+            Instr::Movz { rd: Reg(rd), imm16: imm, hw: (rd % 4) },
+            Instr::AddImm { rd: Reg(rd), rn: Reg(rn), imm12: imm },
+            Instr::LdrX { rt: Reg(rd), rn: Reg(rn), offset: (imm % 4096 / 8) * 8 },
+            Instr::B { offset: off },
+            Instr::Cbnz { rt: Reg(rd), offset: off },
+            Instr::Madd { rd: Reg(rd), rn: Reg(rn), rm: Reg(rd), ra: Reg(rn) },
+            Instr::Ldp { rt1: Reg(rd), rt2: Reg(rn), rn: Reg(rd), offset: ((off % 64) * 8).clamp(-512, 504) as i16 },
+            Instr::Tbz { rt: Reg(rd), bit: (imm % 64) as u8, offset: (off % 8000) as i16 },
+        ];
+        for instr in cases {
+            prop_assert_eq!(Instr::decode(instr.encode()).unwrap(), instr);
+        }
+    }
+
+    /// Decoding is total and injective on the supported set: any 32-bit
+    /// word either fails to decode or re-encodes to itself (no aliasing
+    /// between instruction patterns). Never panics.
+    #[test]
+    fn decode_any_word_never_panics_and_reencodes(word in any::<u32>()) {
+        use voltboot_armlite::insn::Instr;
+        if let Ok(instr) = Instr::decode(word) {
+            let re = instr.encode();
+            // Unused fields of some encodings are don't-care on real
+            // hardware; our decoder is strict, so re-encoding must
+            // reproduce the word exactly for every accepted word.
+            prop_assert_eq!(re, word, "{:?}", instr);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The cache access path never loses data: any sequence of writes is
+    /// readable back (from cache or backing store) regardless of
+    /// eviction pattern.
+    #[test]
+    fn cache_is_transparent_under_eviction(
+        writes in proptest::collection::vec((0u64..64, any::<u8>()), 1..40),
+    ) {
+        use voltboot_soc::devices;
+        let mut soc = devices::raspberry_pi_4(77);
+        soc.power_on_all();
+        soc.enable_caches(0);
+        // Conflict-heavy address pattern: line-aligned within set 0.
+        let addr_of = |slot: u64| 0x10_0000 + slot * 0x800;
+        let mut expected = std::collections::HashMap::new();
+        for &(slot, value) in &writes {
+            expected.insert(slot, value);
+            let p = voltboot_armlite::Program::from_instrs(vec![
+                voltboot_armlite::insn::Instr::Movz {
+                    rd: voltboot_armlite::insn::Reg(0), imm16: value as u16, hw: 0 },
+                voltboot_armlite::insn::Instr::Movz {
+                    rd: voltboot_armlite::insn::Reg(1),
+                    imm16: (addr_of(slot) & 0xFFFF) as u16, hw: 0 },
+                voltboot_armlite::insn::Instr::Movk {
+                    rd: voltboot_armlite::insn::Reg(1),
+                    imm16: ((addr_of(slot) >> 16) & 0xFFFF) as u16, hw: 1 },
+                voltboot_armlite::insn::Instr::Strb {
+                    rt: voltboot_armlite::insn::Reg(0),
+                    rn: voltboot_armlite::insn::Reg(1), offset: 0 },
+                voltboot_armlite::insn::Instr::Ldrb {
+                    rt: voltboot_armlite::insn::Reg(2),
+                    rn: voltboot_armlite::insn::Reg(1), offset: 0 },
+                voltboot_armlite::insn::Instr::Hlt { imm16: 0 },
+            ]);
+            let exit = soc.run_program(0, &p, 0x8_0000, 10_000);
+            prop_assert_eq!(exit, voltboot_armlite::RunExit::Halted(0));
+            prop_assert_eq!(soc.core(0).unwrap().cpu.x(2), value as u64);
+        }
+        // Read everything back through a fresh program.
+        for (&slot, &value) in &expected {
+            let p = voltboot_armlite::Program::from_instrs(vec![
+                voltboot_armlite::insn::Instr::Movz {
+                    rd: voltboot_armlite::insn::Reg(1),
+                    imm16: (addr_of(slot) & 0xFFFF) as u16, hw: 0 },
+                voltboot_armlite::insn::Instr::Movk {
+                    rd: voltboot_armlite::insn::Reg(1),
+                    imm16: ((addr_of(slot) >> 16) & 0xFFFF) as u16, hw: 1 },
+                voltboot_armlite::insn::Instr::Ldrb {
+                    rt: voltboot_armlite::insn::Reg(2),
+                    rn: voltboot_armlite::insn::Reg(1), offset: 0 },
+                voltboot_armlite::insn::Instr::Hlt { imm16: 0 },
+            ]);
+            soc.run_program(0, &p, 0x8_0000, 10_000);
+            prop_assert_eq!(soc.core(0).unwrap().cpu.x(2), value as u64, "slot {}", slot);
+        }
+    }
+}
