@@ -294,7 +294,9 @@ fn parse_statement(
             match mnemonic.as_str() {
                 "ldr" | "str" => {
                     if offset % 8 != 0 || offset / 8 > 4095 {
-                        return Err(err(format!("ldr/str offset {offset} must be 8-aligned and <= 32760")));
+                        return Err(err(format!(
+                            "ldr/str offset {offset} must be 8-aligned and <= 32760"
+                        )));
                     }
                     Ok(if mnemonic == "ldr" {
                         Instr::LdrX { rt, rn, offset: offset as u16 }
@@ -322,11 +324,16 @@ fn parse_statement(
             nops(2)?;
             let rt = parse_reg(op(0)?).map_err(&err)?;
             let offset = branch_offset(op(1)?)?;
-            Ok(if mnemonic == "cbz" { Instr::Cbz { rt, offset } } else { Instr::Cbnz { rt, offset } })
+            Ok(if mnemonic == "cbz" {
+                Instr::Cbz { rt, offset }
+            } else {
+                Instr::Cbnz { rt, offset }
+            })
         }
         m if m.starts_with("b.") => {
             nops(1)?;
-            let cond = parse_cond(&m[2..]).ok_or_else(|| err(format!("unknown condition {m:?}")))?;
+            let cond =
+                parse_cond(&m[2..]).ok_or_else(|| err(format!("unknown condition {m:?}")))?;
             Ok(Instr::BCond { cond, offset: branch_offset(op(0)?)? })
         }
         "dc" => {
@@ -429,7 +436,8 @@ fn parse_reg(s: &str) -> Result<Reg, String> {
 fn parse_vreg(s: &str) -> Result<VReg, String> {
     let s = s.trim().to_ascii_lowercase();
     let body = s.split('.').next().unwrap_or(&s);
-    let digits = body.strip_prefix('v').ok_or_else(|| format!("expected vector register, found {s:?}"))?;
+    let digits =
+        body.strip_prefix('v').ok_or_else(|| format!("expected vector register, found {s:?}"))?;
     let n: u8 = digits.parse().map_err(|_| format!("bad vector register {s:?}"))?;
     if n > 31 {
         return Err(format!("vector register {s:?} out of range"));
@@ -627,7 +635,8 @@ mod tests {
 
     #[test]
     fn barriers_and_cache_ops_parse() {
-        let p = assemble(r#"
+        let p = assemble(
+            r#"
             ramindex x0
             dsb sy
             isb
@@ -637,18 +646,23 @@ mod tests {
             dc cvac, x2
             ic iallu
             ret
-        "#).unwrap();
+        "#,
+        )
+        .unwrap();
         assert_eq!(p.len(), 9);
     }
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p = assemble(r#"
+        let p = assemble(
+            r#"
             // leading comment
             nop ; trailing comment
 
             nop // another
-        "#).unwrap();
+        "#,
+        )
+        .unwrap();
         assert_eq!(p.len(), 2);
     }
 

@@ -72,7 +72,9 @@ pub struct RamIndexRequest {
 impl RamIndexRequest {
     /// Packs the request into the register word.
     pub fn pack(self) -> u64 {
-        ((self.ramid as u64) << 24) | (((self.way as u64) & 0x3F) << 18) | (self.index as u64 & 0x3FFFF)
+        ((self.ramid as u64) << 24)
+            | (((self.way as u64) & 0x3F) << 18)
+            | (self.index as u64 & 0x3FFFF)
     }
 
     /// Unpacks a register word.
@@ -208,7 +210,7 @@ impl FlatMemory {
         if a + size as usize > self.bytes.len() {
             return Err(BusFault::Unmapped { addr });
         }
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             return Err(BusFault::Misaligned { addr, size });
         }
         Ok(a)

@@ -224,7 +224,7 @@ impl Cpu {
                 }
                 Udiv { rd, rn, rm } => {
                     let d = self.x(rm.0);
-                    self.set_x(rd.0, if d == 0 { 0 } else { self.x(rn.0) / d });
+                    self.set_x(rd.0, self.x(rn.0).checked_div(d).unwrap_or(0));
                 }
                 Csel { rd, rn, rm, cond } => {
                     let v = if self.cond_holds(cond) { self.x(rn.0) } else { self.x(rm.0) };
@@ -401,11 +401,11 @@ impl Cpu {
             Cond::Vs => v,
             Cond::Vc => !v,
             Cond::Hi => c && !z,
-            Cond::Ls => !(c && !z),
+            Cond::Ls => !c || z,
             Cond::Ge => n == v,
             Cond::Lt => n != v,
             Cond::Gt => !z && n == v,
-            Cond::Le => !(!z && n == v),
+            Cond::Le => z || n != v,
             Cond::Al => true,
         }
     }

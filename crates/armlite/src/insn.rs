@@ -527,11 +527,11 @@ impl fmt::Display for Instr {
         use Instr::*;
         match *self {
             Nop => write!(f, "nop"),
-            Movz { rd, imm16, hw } if hw == 0 => write!(f, "movz {rd}, #{imm16:#x}"),
+            Movz { rd, imm16, hw: 0 } => write!(f, "movz {rd}, #{imm16:#x}"),
             Movz { rd, imm16, hw } => write!(f, "movz {rd}, #{imm16:#x}, lsl #{}", hw * 16),
-            Movk { rd, imm16, hw } if hw == 0 => write!(f, "movk {rd}, #{imm16:#x}"),
+            Movk { rd, imm16, hw: 0 } => write!(f, "movk {rd}, #{imm16:#x}"),
             Movk { rd, imm16, hw } => write!(f, "movk {rd}, #{imm16:#x}, lsl #{}", hw * 16),
-            Movn { rd, imm16, hw } if hw == 0 => write!(f, "movn {rd}, #{imm16:#x}"),
+            Movn { rd, imm16, hw: 0 } => write!(f, "movn {rd}, #{imm16:#x}"),
             Movn { rd, imm16, hw } => write!(f, "movn {rd}, #{imm16:#x}, lsl #{}", hw * 16),
             Adr { rd, offset } => write!(f, "adr {rd}, #{offset}"),
             AddImm { rd, rn, imm12 } => write!(f, "add {rd}, {rn}, #{imm12}"),
@@ -561,21 +561,21 @@ impl fmt::Display for Instr {
             }
             Lslv { rd, rn, rm } => write!(f, "lsl {rd}, {rn}, {rm}"),
             Lsrv { rd, rn, rm } => write!(f, "lsr {rd}, {rn}, {rm}"),
-            LdrX { rt, rn, offset } if offset == 0 => write!(f, "ldr {rt}, [{rn}]"),
+            LdrX { rt, rn, offset: 0 } => write!(f, "ldr {rt}, [{rn}]"),
             LdrX { rt, rn, offset } => write!(f, "ldr {rt}, [{rn}, #{offset}]"),
-            StrX { rt, rn, offset } if offset == 0 => write!(f, "str {rt}, [{rn}]"),
+            StrX { rt, rn, offset: 0 } => write!(f, "str {rt}, [{rn}]"),
             StrX { rt, rn, offset } => write!(f, "str {rt}, [{rn}, #{offset}]"),
-            Ldp { rt1, rt2, rn, offset } if offset == 0 => {
+            Ldp { rt1, rt2, rn, offset: 0 } => {
                 write!(f, "ldp {rt1}, {rt2}, [{rn}]")
             }
             Ldp { rt1, rt2, rn, offset } => write!(f, "ldp {rt1}, {rt2}, [{rn}, #{offset}]"),
-            Stp { rt1, rt2, rn, offset } if offset == 0 => {
+            Stp { rt1, rt2, rn, offset: 0 } => {
                 write!(f, "stp {rt1}, {rt2}, [{rn}]")
             }
             Stp { rt1, rt2, rn, offset } => write!(f, "stp {rt1}, {rt2}, [{rn}, #{offset}]"),
-            Ldrb { rt, rn, offset } if offset == 0 => write!(f, "ldrb {rt}, [{rn}]"),
+            Ldrb { rt, rn, offset: 0 } => write!(f, "ldrb {rt}, [{rn}]"),
             Ldrb { rt, rn, offset } => write!(f, "ldrb {rt}, [{rn}, #{offset}]"),
-            Strb { rt, rn, offset } if offset == 0 => write!(f, "strb {rt}, [{rn}]"),
+            Strb { rt, rn, offset: 0 } => write!(f, "strb {rt}, [{rn}]"),
             Strb { rt, rn, offset } => write!(f, "strb {rt}, [{rn}, #{offset}]"),
             B { offset } => write!(f, "b #{offset}"),
             BCond { cond, offset } => write!(f, "b.{} #{offset}", cond.mnemonic()),
@@ -742,12 +742,8 @@ impl Instr {
             BCond { cond, offset } => {
                 0x5400_0000 | (((offset as u32) & 0x7FFFF) << 5) | cond as u32
             }
-            Cbz { rt, offset } => {
-                0xB400_0000 | (((offset as u32) & 0x7FFFF) << 5) | rt.0 as u32
-            }
-            Cbnz { rt, offset } => {
-                0xB500_0000 | (((offset as u32) & 0x7FFFF) << 5) | rt.0 as u32
-            }
+            Cbz { rt, offset } => 0xB400_0000 | (((offset as u32) & 0x7FFFF) << 5) | rt.0 as u32,
+            Cbnz { rt, offset } => 0xB500_0000 | (((offset as u32) & 0x7FFFF) << 5) | rt.0 as u32,
             Tbz { rt, bit, offset } => {
                 debug_assert!(bit < 64);
                 let b5 = ((bit >> 5) as u32) << 31;
@@ -841,7 +837,7 @@ impl Instr {
             _ => {}
         }
         if word & 0x9F00_0000 == 0x1000_0000 {
-            let imm = (((word >> 29) & 0x3) | (((word >> 5) & 0x7_FFFF) << 2)) as u32;
+            let imm = ((word >> 29) & 0x3) | (((word >> 5) & 0x7_FFFF) << 2);
             let offset = ((imm << 11) as i32) >> 11;
             return Ok(Adr { rd, offset });
         }
@@ -968,11 +964,7 @@ impl Instr {
             return Ok(MoviV16b { vd: VReg((word & 0x1F) as u8), imm8 });
         }
         if word & 0xFFEF_FC00 == 0x4E08_1C00 {
-            return Ok(InsVD {
-                vd: VReg((word & 0x1F) as u8),
-                idx: ((word >> 20) & 1) as u8,
-                rn,
-            });
+            return Ok(InsVD { vd: VReg((word & 0x1F) as u8), idx: ((word >> 20) & 1) as u8, rn });
         }
         if word & 0xFFEF_FC00 == 0x4E08_3C00 {
             return Ok(UmovXD {

@@ -134,10 +134,7 @@ pub mod builders {
     /// experiment) and halts.
     pub fn fill_vector_registers() -> Program {
         let mut instrs: Vec<Instr> = (0..32u8)
-            .map(|n| Instr::MoviV16b {
-                vd: VReg::v(n),
-                imm8: if n % 2 == 0 { 0xFF } else { 0xAA },
-            })
+            .map(|n| Instr::MoviV16b { vd: VReg::v(n), imm8: if n % 2 == 0 { 0xFF } else { 0xAA } })
             .collect();
         instrs.push(Instr::Hlt { imm16: 0 });
         Program::from_instrs(instrs)
@@ -261,7 +258,8 @@ mod tests {
         let (cpu, _, exit) = run(&p, 4096);
         assert_eq!(exit, RunExit::Halted(0));
         for n in 0..32u8 {
-            let expected = if n % 2 == 0 { 0xFFFF_FFFF_FFFF_FFFFu64 } else { 0xAAAA_AAAA_AAAA_AAAA };
+            let expected =
+                if n % 2 == 0 { 0xFFFF_FFFF_FFFF_FFFFu64 } else { 0xAAAA_AAAA_AAAA_AAAA };
             assert_eq!(cpu.v(n), [expected; 2], "v{n}");
         }
     }

@@ -16,30 +16,62 @@ fn displayable_instr() -> impl Strategy<Value = Instr> {
         Just(Instr::DsbSy),
         Just(Instr::Isb),
         Just(Instr::IcIallu),
-        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movz { rd, imm16, hw }),
-        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movk { rd, imm16, hw }),
-        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movn { rd, imm16, hw }),
-        (reg.clone(), reg.clone(), 0u16..4096)
-            .prop_map(|(rd, rn, imm12)| Instr::AddImm { rd, rn, imm12 }),
-        (reg.clone(), reg.clone(), 0u16..4096)
-            .prop_map(|(rd, rn, imm12)| Instr::SubImm { rd, rn, imm12 }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(rd, rn, rm)| Instr::AndReg { rd, rn, rm }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(rd, rn, rm)| Instr::EorReg { rd, rn, rm }),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(rd, rn, rm)| Instr::Udiv { rd, rn, rm }),
+        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movz {
+            rd,
+            imm16,
+            hw
+        }),
+        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movk {
+            rd,
+            imm16,
+            hw
+        }),
+        (reg.clone(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Instr::Movn {
+            rd,
+            imm16,
+            hw
+        }),
+        (reg.clone(), reg.clone(), 0u16..4096).prop_map(|(rd, rn, imm12)| Instr::AddImm {
+            rd,
+            rn,
+            imm12
+        }),
+        (reg.clone(), reg.clone(), 0u16..4096).prop_map(|(rd, rn, imm12)| Instr::SubImm {
+            rd,
+            rn,
+            imm12
+        }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rn, rm)| Instr::AndReg {
+            rd,
+            rn,
+            rm
+        }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rn, rm)| Instr::EorReg {
+            rd,
+            rn,
+            rm
+        }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rn, rm)| Instr::Udiv { rd, rn, rm }),
         (reg.clone(), reg.clone(), reg.clone(), cond.clone())
             .prop_map(|(rd, rn, rm, cond)| Instr::Csel { rd, rn, rm, cond }),
-        (reg.clone(), reg.clone(), reg.clone(), cond)
-            .prop_map(|(rd, rn, rm, cond)| Instr::Csinc { rd, rn, rm, cond }),
-        (reg.clone(), reg.clone(), 0u16..4096)
-            .prop_map(|(rt, rn, offset)| Instr::Ldrb { rt, rn, offset }),
-        (reg.clone(), reg.clone(), 0u16..4095)
-            .prop_map(|(rt, rn, offset)| Instr::LdrX { rt, rn, offset: offset / 8 * 8 }),
-        (reg.clone(), reg.clone(), reg.clone(), 0i16..64).prop_map(|(rt1, rt2, rn, o)| {
-            Instr::Ldp { rt1, rt2, rn, offset: o * 8 }
+        (reg.clone(), reg.clone(), reg.clone(), cond).prop_map(|(rd, rn, rm, cond)| Instr::Csinc {
+            rd,
+            rn,
+            rm,
+            cond
         }),
+        (reg.clone(), reg.clone(), 0u16..4096).prop_map(|(rt, rn, offset)| Instr::Ldrb {
+            rt,
+            rn,
+            offset
+        }),
+        (reg.clone(), reg.clone(), 0u16..4095).prop_map(|(rt, rn, offset)| Instr::LdrX {
+            rt,
+            rn,
+            offset: offset / 8 * 8
+        }),
+        (reg.clone(), reg.clone(), reg.clone(), 0i16..64)
+            .prop_map(|(rt1, rt2, rn, o)| { Instr::Ldp { rt1, rt2, rn, offset: o * 8 } }),
         (reg.clone(), any::<u8>()).prop_map(|(rt, _)| Instr::DcZva { rt }),
         (vreg.clone(), any::<u8>()).prop_map(|(vd, imm8)| Instr::MoviV16b { vd, imm8 }),
         (vreg.clone(), 0u8..2, reg.clone()).prop_map(|(vd, idx, rn)| Instr::InsVD { vd, idx, rn }),

@@ -8,7 +8,32 @@ use std::time::Duration;
 use voltboot::attack::{Extraction, VoltBootAttack};
 use voltboot::experiments::{fig7, keytheft, sec72};
 use voltboot_pdn::Probe;
-use voltboot_soc::devices;
+use voltboot_soc::{devices, PowerCycleSpec};
+
+/// Full-board power cycles through the batched engine: the warm case
+/// reuses memoized die planes (every sweep's steady state), the cold
+/// case pays plane building plus first-cycle resolution each iteration.
+fn bench_power_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soc_power_cycle");
+    group.bench_function("pi4_warm_planes", |b| {
+        let mut soc = devices::raspberry_pi_4(0xCC);
+        soc.power_on_all();
+        b.iter(|| {
+            let report = soc.power_cycle(PowerCycleSpec::quick()).unwrap();
+            black_box(report.retention_of("core0.l1d.data").is_some())
+        });
+    });
+    group.bench_function("pi4_cold_planes", |b| {
+        b.iter(|| {
+            voltboot_sram::clear_plane_cache();
+            let mut soc = devices::raspberry_pi_4(0xCC);
+            soc.power_on_all();
+            let report = soc.power_cycle(PowerCycleSpec::quick()).unwrap();
+            black_box(report.retention_of("core0.l1d.data").is_some())
+        });
+    });
+    group.finish();
+}
 
 fn bench_fig7(c: &mut Criterion) {
     let result = fig7::run(0xF7);
@@ -52,10 +77,9 @@ fn bench_probe_ablation(c: &mut Criterion) {
     // Design-choice ablation: the probe's current capability decides
     // whether the held rail rides through the core surge (paper §6).
     let mut group = c.benchmark_group("probe_ablation");
-    for (label, probe) in [
-        ("bench_3a", Probe::bench_supply(0.0, 3.0)),
-        ("weak_0a2", Probe::weak_source(0.0, 0.2)),
-    ] {
+    for (label, probe) in
+        [("bench_3a", Probe::bench_supply(0.0, 3.0)), ("weak_0a2", Probe::weak_source(0.0, 0.2))]
+    {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut soc = devices::raspberry_pi_4(0xAB);
@@ -78,6 +102,6 @@ fn bench_probe_ablation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
-    targets = bench_fig7, bench_registers_and_keys, bench_probe_ablation
+    targets = bench_power_cycle, bench_fig7, bench_registers_and_keys, bench_probe_ablation
 }
 criterion_main!(benches);

@@ -30,12 +30,7 @@ fn bench_ramindex_throughput(c: &mut Criterion) {
     let mut soc = devices::raspberry_pi_4(0xEE);
     soc.power_on_all();
     soc.enable_caches(0);
-    soc.run_program(
-        0,
-        &voltboot_armlite::program::builders::nop_sled(2048),
-        0x10000,
-        1_000_000,
-    );
+    soc.run_program(0, &voltboot_armlite::program::builders::nop_sled(2048), 0x10000, 1_000_000);
     c.bench_function("ramindex_dump_one_core", |b| {
         b.iter(|| black_box(extract_caches(&soc, &[0]).unwrap().len()));
     });

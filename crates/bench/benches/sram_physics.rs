@@ -1,19 +1,50 @@
 //! Microbenchmarks of the SRAM physics substrate: power-up sampling,
 //! decay resolution, and the fast retention paths.
+//!
+//! Every resolution benchmark runs in both [`ResolutionMode`]s so the
+//! batched engine's speedup over the scalar reference is directly
+//! measurable from the criterion report.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use voltboot_sram::{ArrayConfig, OffEvent, SramArray, Temperature};
+use voltboot_sram::{ArrayConfig, OffEvent, ResolutionMode, SramArray, Temperature};
+
+const MODES: [(ResolutionMode, &str); 2] =
+    [(ResolutionMode::Scalar, "scalar"), (ResolutionMode::Batched, "batched")];
 
 fn bench_power_on(c: &mut Criterion) {
     let mut group = c.benchmark_group("sram_power_on");
     for kb in [4usize, 32, 128] {
-        group.bench_with_input(BenchmarkId::new("first_powerup", kb), &kb, |b, &kb| {
+        for (mode, name) in MODES {
+            let id = BenchmarkId::new(format!("first_powerup/{name}"), kb);
+            group.bench_with_input(id, &kb, |b, &kb| {
+                b.iter(|| {
+                    let mut s = SramArray::new(ArrayConfig::with_bytes("b", kb * 1024), 7);
+                    s.power_on_with(mode).unwrap();
+                    black_box(s.len_bytes())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The headline case: repeated power cycles of a 1 MiB array with the
+/// die planes already built (every sweep in the reproduction is this
+/// shape). The array is constructed once outside the timing loop, so
+/// plane building and the first cycle are excluded.
+fn bench_warm_1mib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sram_warm_cycle_1mib");
+    group.throughput(criterion::Throughput::Bytes(1 << 20));
+    for (mode, name) in MODES {
+        let mut s = SramArray::new(ArrayConfig::with_bytes("b", 1 << 20), 7);
+        s.power_on_with(mode).unwrap();
+        group.bench_function(BenchmarkId::new("partial_retention_minus110c", name), |b| {
             b.iter(|| {
-                let mut s = SramArray::new(ArrayConfig::with_bytes("b", kb * 1024), 7);
-                s.power_on().unwrap();
-                black_box(s.len_bytes())
+                s.power_off(OffEvent::unpowered()).unwrap();
+                s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+                black_box(s.power_on_with(mode).unwrap().retained)
             });
         });
     }
@@ -22,39 +53,41 @@ fn bench_power_on(c: &mut Criterion) {
 
 fn bench_cycle_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("sram_power_cycle");
-    group.bench_function("held_fast_path_32k", |b| {
-        b.iter(|| {
-            let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
-            s.power_on().unwrap();
-            s.power_off(OffEvent::held(0.8)).unwrap();
-            s.elapse(Duration::from_secs(60), Temperature::ROOM);
-            black_box(s.power_on().unwrap().retained)
+    for (mode, name) in MODES {
+        group.bench_function(BenchmarkId::new("held_fast_path_32k", name), |b| {
+            b.iter(|| {
+                let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
+                s.power_on_with(mode).unwrap();
+                s.power_off(OffEvent::held(0.8)).unwrap();
+                s.elapse(Duration::from_secs(60), Temperature::ROOM);
+                black_box(s.power_on_with(mode).unwrap().retained)
+            });
         });
-    });
-    group.bench_function("unpowered_full_loss_32k", |b| {
-        b.iter(|| {
-            let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
-            s.power_on().unwrap();
-            s.power_off(OffEvent::unpowered()).unwrap();
-            s.elapse(Duration::from_millis(500), Temperature::ROOM);
-            black_box(s.power_on().unwrap().lost)
+        group.bench_function(BenchmarkId::new("unpowered_full_loss_32k", name), |b| {
+            b.iter(|| {
+                let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
+                s.power_on_with(mode).unwrap();
+                s.power_off(OffEvent::unpowered()).unwrap();
+                s.elapse(Duration::from_millis(500), Temperature::ROOM);
+                black_box(s.power_on_with(mode).unwrap().lost)
+            });
         });
-    });
-    group.bench_function("partial_retention_minus110c_32k", |b| {
-        b.iter(|| {
-            let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
-            s.power_on().unwrap();
-            s.power_off(OffEvent::unpowered()).unwrap();
-            s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
-            black_box(s.power_on().unwrap().retained)
+        group.bench_function(BenchmarkId::new("partial_retention_minus110c_32k", name), |b| {
+            b.iter(|| {
+                let mut s = SramArray::new(ArrayConfig::with_bytes("b", 32 * 1024), 7);
+                s.power_on_with(mode).unwrap();
+                s.power_off(OffEvent::unpowered()).unwrap();
+                s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+                black_box(s.power_on_with(mode).unwrap().retained)
+            });
         });
-    });
+    }
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
-    targets = bench_power_on, bench_cycle_paths
+    targets = bench_power_on, bench_warm_1mib, bench_cycle_paths
 }
 criterion_main!(benches);

@@ -20,10 +20,7 @@ fn main() {
     for &ms in &times {
         let mut row = vec![format!("{ms} ms")];
         for &t in &temps {
-            let p = curve
-                .iter()
-                .find(|p| p.celsius == t && p.off_ms == ms)
-                .expect("point");
+            let p = curve.iter().find(|p| p.celsius == t && p.off_ms == ms).expect("point");
             row.push(pct(p.retention));
         }
         table.row(row);

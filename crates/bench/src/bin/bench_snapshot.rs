@@ -1,0 +1,86 @@
+//! Quick, harness-free performance snapshot for trajectory tracking.
+//!
+//! Times the hot paths of `sram_physics` (repeated power cycles of a
+//! 1 MiB array, scalar vs batched-warm) and `attack_e2e` (a full board
+//! power cycle), then writes the numbers to `BENCH_sram.json` in the
+//! current directory so successive PRs can compare.
+//!
+//! ```text
+//! cargo run --release -p voltboot-bench --bin bench_snapshot
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use voltboot_soc::{devices, PowerCycleSpec};
+use voltboot_sram::{ArrayConfig, OffEvent, ResolutionMode, SramArray, Temperature};
+
+const MIB: usize = 1 << 20;
+
+/// Median wall time of `iters` runs of `f`.
+fn time_median<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// One warm power cycle (partial retention at −110 °C / 20 ms — the
+/// general resolution path, no fast-path shortcuts).
+fn cycle(s: &mut SramArray, mode: ResolutionMode) {
+    s.power_off(OffEvent::unpowered()).unwrap();
+    s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+    black_box(s.power_on_with(mode).unwrap().retained);
+}
+
+fn main() {
+    // -- sram_physics hot path: repeated 1 MiB power cycles ------------
+    let mut scalar = SramArray::new(ArrayConfig::with_bytes("snap", MIB), 7);
+    scalar.power_on_with(ResolutionMode::Scalar).unwrap();
+    let t_scalar = time_median(5, || cycle(&mut scalar, ResolutionMode::Scalar));
+
+    let mut batched = SramArray::new(ArrayConfig::with_bytes("snap", MIB), 7);
+    // First batched cycle builds the die planes; the timed loop below is
+    // the plane-cache-warm steady state every sweep runs in.
+    batched.power_on_with(ResolutionMode::Batched).unwrap();
+    cycle(&mut batched, ResolutionMode::Batched);
+    let t_batched = time_median(15, || cycle(&mut batched, ResolutionMode::Batched));
+
+    let mib_per_s = |t: Duration| 1.0 / t.as_secs_f64();
+    let speedup = t_scalar.as_secs_f64() / t_batched.as_secs_f64();
+
+    // -- attack_e2e hot path: full-board warm power cycle --------------
+    let mut soc = devices::raspberry_pi_4(0xCC);
+    soc.power_on_all();
+    let _ = soc.power_cycle(PowerCycleSpec::quick()).unwrap();
+    let t_soc = time_median(9, || {
+        black_box(soc.power_cycle(PowerCycleSpec::quick()).unwrap().retention.len());
+    });
+
+    let threads = voltboot_sram::par::thread_count();
+    println!("1 MiB warm power cycle, scalar : {t_scalar:?} ({:.1} MiB/s)", mib_per_s(t_scalar));
+    println!("1 MiB warm power cycle, batched: {t_batched:?} ({:.1} MiB/s)", mib_per_s(t_batched));
+    println!("speedup (batched vs scalar)    : {speedup:.1}x");
+    println!("pi4 full-board warm power cycle: {t_soc:?}");
+    println!("threads: {threads}");
+
+    // Hand-rolled JSON: the workspace intentionally has no serde_json.
+    let json = format!(
+        "{{\n  \"bench\": \"sram\",\n  \"array_bytes\": {MIB},\n  \
+         \"scalar_warm_cycle_ms\": {:.3},\n  \"batched_warm_cycle_ms\": {:.3},\n  \
+         \"scalar_mib_per_s\": {:.2},\n  \"batched_mib_per_s\": {:.2},\n  \
+         \"speedup\": {:.2},\n  \"pi4_power_cycle_ms\": {:.3},\n  \"threads\": {threads}\n}}\n",
+        t_scalar.as_secs_f64() * 1e3,
+        t_batched.as_secs_f64() * 1e3,
+        mib_per_s(t_scalar),
+        mib_per_s(t_batched),
+        speedup,
+        t_soc.as_secs_f64() * 1e3,
+    );
+    std::fs::write("BENCH_sram.json", &json).expect("write BENCH_sram.json");
+    println!("wrote BENCH_sram.json");
+}

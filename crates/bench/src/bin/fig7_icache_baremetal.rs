@@ -10,7 +10,8 @@ fn main() {
     banner("Figure 7", "i-cache retention for bare-metal victims (Volt Boot)");
     let result = fig7::run(seed());
 
-    let mut table = TextTable::new(["SoC", "Core 0", "Core 1", "Core 2", "Core 3", "NOP words (c0/w0)"]);
+    let mut table =
+        TextTable::new(["SoC", "Core 0", "Core 1", "Core 2", "Core 3", "NOP words (c0/w0)"]);
     for d in &result.devices {
         let mut cells: Vec<String> = vec![d.soc.clone()];
         cells.extend(d.per_core_accuracy.iter().map(|&a| pct(a)));

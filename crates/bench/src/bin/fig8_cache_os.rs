@@ -13,7 +13,9 @@ fn main() {
     compare("victim instructions found in i-cache", "all", &pct(result.instruction_fraction));
     println!("  0xAA bytes in extracted d-cache way 0: {}", result.pattern_bytes);
 
-    for (name, bits) in [("fig8_dcache.pbm", &result.dcache_way), ("fig8_icache.pbm", &result.icache_way)] {
+    for (name, bits) in
+        [("fig8_dcache.pbm", &result.dcache_way), ("fig8_icache.pbm", &result.icache_way)]
+    {
         if std::fs::write(name, analysis::to_pbm(bits, 512)).is_ok() {
             println!("  wrote {name}");
         }

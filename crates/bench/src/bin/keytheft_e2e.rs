@@ -13,8 +13,16 @@ fn main() {
             KeyHome::LockedCache => "CaSE-style locked cache way",
         };
         println!("\nkey home: {label}");
-        compare("Volt Boot recovers working disk key", "yes", if result.voltboot_recovers { "yes" } else { "NO" });
-        compare("cold boot (-40 C) recovers key", "no", if result.coldboot_recovers { "YES" } else { "no" });
+        compare(
+            "Volt Boot recovers working disk key",
+            "yes",
+            if result.voltboot_recovers { "yes" } else { "NO" },
+        );
+        compare(
+            "cold boot (-40 C) recovers key",
+            "no",
+            if result.coldboot_recovers { "YES" } else { "no" },
+        );
         if let Some(pt) = &result.recovered_plaintext {
             println!("  decrypted sector 0: {pt:?}");
         }

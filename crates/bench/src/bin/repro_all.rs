@@ -11,53 +11,71 @@
 use voltboot::experiments::*;
 use voltboot::report::pct;
 use voltboot_bench::{banner, compare, seed};
+use voltboot_sram::par;
 
 fn main() {
     let seed = seed();
     println!("Volt Boot reproduction — full evaluation run (die seed {seed:#x})\n");
 
+    // Every experiment builds its own boards from the seed, so the
+    // sections are independent: compute them in parallel (each one also
+    // fans out internally), then print the report in the fixed order.
+    let (g1, (g2, (g3, g4))) = par::join(
+        || (table1::run(seed), fig3::run(seed), sec62::run(seed)),
+        || {
+            par::join(
+                || (fig7::run(seed), fig8::run(seed), table4::run(seed, 3)),
+                || {
+                    par::join(
+                        || (sec72::run(seed), fig9_10::run(seed), sec8::run(seed)),
+                        || {
+                            (
+                                dram_baseline::run(seed),
+                                keytheft::run(seed, keytheft::KeyHome::Registers),
+                                keytheft::run(seed, keytheft::KeyHome::LockedCache),
+                            )
+                        },
+                    )
+                },
+            )
+        },
+    );
+    let (t1, f3, s62) = g1;
+    let (f7, f8, t4) = g2;
+    let (s72, f910, s8) = g3;
+    let (db, kt_regs, kt_lock) = g4;
+
     banner("Table 1", "cold boot on BCM2711 d-cache");
-    let t1 = table1::run(seed);
     for (row, paper) in t1.rows.iter().zip([0.5014, 0.5006, 0.5039]) {
-        compare(
-            &format!("error at {:.0} C", row.celsius),
-            &pct(paper),
-            &pct(row.mean_error),
-        );
+        compare(&format!("error at {:.0} C", row.celsius), &pct(paper), &pct(row.mean_error));
     }
     compare("HD vs startup state", "~0.10", &format!("{:.3}", t1.rows[2].hd_vs_startup));
 
     banner("Figure 3", "d-cache snapshot after cold boot at -40 C");
-    let f3 = fig3::run(seed);
     compare("ones fraction", "~50%", &pct(f3.ones_fraction));
     compare("error vs stored pattern", "~50%", &pct(f3.error_vs_stored));
 
     banner("Section 6.2", "memory accessible after boot");
-    let s62 = sec62::run(seed);
     compare("BCM L1 caches", "100%", &pct(s62.rows[0].accessible_fraction));
     compare("BCM shared L2", "~0%", &pct(s62.rows[1].accessible_fraction));
     compare("i.MX535 iRAM", "~95%", &pct(s62.rows[2].accessible_fraction));
 
     banner("Figure 7", "bare-metal i-cache retention");
-    let f7 = fig7::run(seed);
     for d in &f7.devices {
         let min = d.per_core_accuracy.iter().copied().fold(f64::INFINITY, f64::min);
         compare(&format!("{} all-core accuracy", d.soc), "100%", &pct(min));
     }
 
     banner("Figure 8", "caches under a running OS");
-    let f8 = fig8::run(seed);
     compare("victim instructions in i-cache", "all", &pct(f8.instruction_fraction));
 
     banner("Table 4", "d-cache extraction vs array size (3 trials)");
-    let t4 = table4::run(seed, 3);
     compare("mean extraction at 4 KB", "100.00%", &pct(t4.mean_extracted(4)));
     compare("mean extraction at 8 KB", "~99.99%", &pct(t4.mean_extracted(8)));
     compare("mean extraction at 16 KB", "~99.96%", &pct(t4.mean_extracted(16)));
     compare("mean extraction at 32 KB", "85.7-91.8%", &pct(t4.mean_extracted(32)));
 
     banner("Section 7.2", "vector registers");
-    let s72 = sec72::run(seed);
     for d in &s72.devices {
         compare(
             &format!("{} registers retained", d.soc),
@@ -67,7 +85,6 @@ fn main() {
     }
 
     banner("Figures 9/10", "iRAM extraction on the i.MX535");
-    let f910 = fig9_10::run(seed);
     compare("overall error", "2.7%", &pct(f910.overall_error));
     compare(
         "error clusters",
@@ -76,7 +93,6 @@ fn main() {
     );
 
     banner("Section 8", "countermeasures");
-    let s8 = sec8::run(seed);
     for row in &s8.rows {
         compare(
             row.countermeasure.name(),
@@ -89,7 +105,6 @@ fn main() {
     }
 
     banner("Background", "DRAM vs SRAM cold boot");
-    let db = dram_baseline::run(seed);
     compare(
         "chilled DRAM transplant key recovery",
         "yes",
@@ -102,8 +117,9 @@ fn main() {
     );
 
     banner("End-to-end", "FDE key theft");
-    for home in [keytheft::KeyHome::Registers, keytheft::KeyHome::LockedCache] {
-        let kt = keytheft::run(seed, home);
+    for (home, kt) in
+        [(keytheft::KeyHome::Registers, &kt_regs), (keytheft::KeyHome::LockedCache, &kt_lock)]
+    {
         compare(
             &format!("{home:?}: volt boot steals the key"),
             "yes",

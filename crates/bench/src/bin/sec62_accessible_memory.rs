@@ -16,6 +16,10 @@ fn main() {
     println!("{}", table.render());
 
     compare("BCM L1 caches", "100%", &pct(result.rows[0].accessible_fraction));
-    compare("BCM shared L2 (VideoCore boots first)", "~0%", &pct(result.rows[1].accessible_fraction));
+    compare(
+        "BCM shared L2 (VideoCore boots first)",
+        "~0%",
+        &pct(result.rows[1].accessible_fraction),
+    );
     compare("i.MX535 iRAM (ROM scratchpad)", "~95%", &pct(result.rows[2].accessible_fraction));
 }

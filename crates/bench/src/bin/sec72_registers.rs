@@ -10,11 +10,7 @@ fn main() {
 
     let mut table = TextTable::new(["SoC", "Registers retained", "Total"]);
     for d in &result.devices {
-        table.row([
-            d.soc.clone(),
-            d.retained_registers.to_string(),
-            d.total_registers.to_string(),
-        ]);
+        table.row([d.soc.clone(), d.retained_registers.to_string(), d.total_registers.to_string()]);
     }
     println!("{}", table.render());
 

@@ -7,14 +7,12 @@ use voltboot_soc::devices;
 
 fn main() {
     banner("Table 2", "evaluated platforms and SoCs");
-    let mut table =
-        TextTable::new(["Board", "SoC", "CPU", "L1D", "L1I", "L2", "iRAM", "JTAG"]);
+    let mut table = TextTable::new(["Board", "SoC", "CPU", "L1D", "L1I", "L2", "iRAM", "JTAG"]);
     for build in [devices::raspberry_pi_4, devices::raspberry_pi_3, devices::imx53_qsb] {
         let soc = build(seed());
         let core = soc.core(0).unwrap();
-        let geom = |g: voltboot_soc::CacheGeometry| {
-            format!("{}KB/{}w", g.size_bytes / 1024, g.ways)
-        };
+        let geom =
+            |g: voltboot_soc::CacheGeometry| format!("{}KB/{}w", g.size_bytes / 1024, g.ways);
         table.row([
             soc.board_name().to_string(),
             soc.soc_name().to_string(),

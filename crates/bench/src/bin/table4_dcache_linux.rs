@@ -13,8 +13,11 @@ fn main() {
         println!("array size {kb} KB ({} elements):", kb * 128);
         let mut table = TextTable::new(["", "Core 0", "Core 1", "Core 2", "Core 3"]);
         for (label, f) in [
-            ("W0", Box::new(|c: &table4::Table4Cell| format!("{:.1}", c.w0))
-                as Box<dyn Fn(&table4::Table4Cell) -> String>),
+            (
+                "W0",
+                Box::new(|c: &table4::Table4Cell| format!("{:.1}", c.w0))
+                    as Box<dyn Fn(&table4::Table4Cell) -> String>,
+            ),
             ("W1", Box::new(|c| format!("{:.1}", c.w1))),
             ("W0 u W1", Box::new(|c| format!("{:.1}", c.union))),
             ("% extracted", Box::new(|c| pct(c.extracted_fraction))),

@@ -6,12 +6,21 @@
 //! concrete numbers.
 
 /// The die seed the repro binaries use, overridable via the
-/// `VOLTBOOT_SEED` environment variable.
+/// `VOLTBOOT_SEED` environment variable (decimal, or hex with a `0x`
+/// prefix).
 pub fn seed() -> u64 {
     std::env::var("VOLTBOOT_SEED")
         .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x2022_A5_B007)
+        .and_then(|s| parse_seed(&s))
+        .unwrap_or(0x0020_22A5_B007)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
 }
 
 /// Prints a banner for one experiment.

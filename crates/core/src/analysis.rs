@@ -174,7 +174,7 @@ pub fn diff_map(a: &PackedBits, b: &PackedBits, width: usize, rows: usize) -> St
             let mismatches = (start..end).filter(|&i| a.get(i) != b.get(i)).count();
             let density = mismatches as f64 / (end - start) as f64;
             out.push(match density {
-                d if d == 0.0 => ' ',
+                d if d <= 0.0 => ' ',
                 d if d < 0.05 => '.',
                 d if d < 0.2 => ':',
                 d if d < 0.4 => 'o',
@@ -354,10 +354,8 @@ pub fn find_key_schedules_tolerant(
     let mut found = Vec::new();
     for offset in (0..=bytes.len() - sched_len).step_by(4) {
         let window = &bytes[offset..offset + sched_len];
-        let words: Vec<u32> = window
-            .chunks_exact(4)
-            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let words: Vec<u32> =
+            window.chunks_exact(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect();
         let bad = schedule_violations(&words, nk);
         if bad <= max_bad_words {
             // Repair: re-expand from the candidate key words.
@@ -376,8 +374,7 @@ pub fn find_key_schedules_tolerant(
 /// Number of key-expansion recurrence violations in a word sequence.
 fn schedule_violations(words: &[u32], nk: usize) -> usize {
     use voltboot_crypto::aes::{gf_mul, sbox};
-    let sub_word =
-        |w: u32| -> u32 { u32::from_be_bytes(w.to_be_bytes().map(sbox)) };
+    let sub_word = |w: u32| -> u32 { u32::from_be_bytes(w.to_be_bytes().map(sbox)) };
     let mut rcon: u8 = 1;
     let mut bad = 0;
     for i in nk..words.len() {

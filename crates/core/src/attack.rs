@@ -100,7 +100,10 @@ impl AttackOutcome {
     }
 
     /// All images whose source contains `fragment`.
-    pub fn images_matching<'a>(&'a self, fragment: &'a str) -> impl Iterator<Item = &'a ExtractedImage> {
+    pub fn images_matching<'a>(
+        &'a self,
+        fragment: &'a str,
+    ) -> impl Iterator<Item = &'a ExtractedImage> {
         self.images.iter().filter(move |i| i.source.contains(fragment))
     }
 }
@@ -227,7 +230,10 @@ impl VoltBootAttack {
                 step: "reboot".into(),
                 detail: format!(
                     "entry {:#x}; l2 clobbered: {}; iram clobbered: {} bytes; mbist: {}",
-                    outcome.entry, outcome.l2_clobbered, outcome.iram_bytes_clobbered, outcome.mbist_ran
+                    outcome.entry,
+                    outcome.l2_clobbered,
+                    outcome.iram_bytes_clobbered,
+                    outcome.mbist_ran
                 ),
             });
         }
@@ -263,10 +269,9 @@ pub fn extract_caches(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>,
         let c = soc.core(core).map_err(|_| AttackError::BadConfiguration {
             detail: format!("core {core} does not exist"),
         })?;
-        for (label, ram, geometry) in [
-            ("l1d", RamId::L1DData, c.l1d.geometry()),
-            ("l1i", RamId::L1IData, c.l1i.geometry()),
-        ] {
+        for (label, ram, geometry) in
+            [("l1d", RamId::L1DData, c.l1d.geometry()), ("l1i", RamId::L1IData, c.l1i.geometry())]
+        {
             let beats_per_way = geometry.sets() * geometry.line_bytes / RAMINDEX_BEAT_BYTES;
             for way in 0..geometry.ways {
                 let mut bytes = Vec::with_capacity(geometry.sets() * geometry.line_bytes);
@@ -302,9 +307,8 @@ pub fn extract_registers(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImag
 /// Dumps the iRAM over JTAG (the §7.3 path; no external boot media
 /// needed on the i.MX535).
 pub fn extract_iram(soc: &Soc) -> Result<Vec<ExtractedImage>, AttackError> {
-    let iram = soc.iram().ok_or(AttackError::BadConfiguration {
-        detail: "device has no iram".into(),
-    })?;
+    let iram =
+        soc.iram().ok_or(AttackError::BadConfiguration { detail: "device has no iram".into() })?;
     let bytes = soc.jtag_read(iram.base(), iram.len())?;
     Ok(vec![ExtractedImage { source: "iram".into(), bits: PackedBits::from_bytes(&bytes) }])
 }
@@ -322,7 +326,10 @@ pub fn extract_tlbs(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, A
             let words = soc.ramindex(core, RamId::Tlb, 0, entry as u32, false)?;
             bytes.extend_from_slice(&words[0].to_le_bytes());
         }
-        images.push(ExtractedImage { source: format!("core{core}.tlb"), bits: PackedBits::from_bytes(&bytes) });
+        images.push(ExtractedImage {
+            source: format!("core{core}.tlb"),
+            bits: PackedBits::from_bytes(&bytes),
+        });
     }
     Ok(images)
 }
@@ -339,7 +346,10 @@ pub fn extract_btbs(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, A
             let words = soc.ramindex(core, RamId::Btb, 0, entry as u32, false)?;
             bytes.extend_from_slice(&words[0].to_le_bytes());
         }
-        images.push(ExtractedImage { source: format!("core{core}.btb"), bits: PackedBits::from_bytes(&bytes) });
+        images.push(ExtractedImage {
+            source: format!("core{core}.btb"),
+            bits: PackedBits::from_bytes(&bytes),
+        });
     }
     Ok(images)
 }
@@ -380,13 +390,16 @@ pub fn tlb_pages(image: &ExtractedImage) -> Vec<u64> {
 /// Dumps raw DRAM cells — what a physical probe on the module (or a
 /// FROST-style minimal kernel) sees: post-decay, and scrambled if the
 /// controller scrambles.
-pub fn extract_dram_raw(soc: &Soc, addr: u64, len: usize) -> Result<Vec<ExtractedImage>, AttackError> {
-    let bytes = soc
-        .dram()
-        .raw_cells(addr, len)
-        .map_err(AttackError::from)?
-        .to_vec();
-    Ok(vec![ExtractedImage { source: format!("dram@{addr:#x}"), bits: PackedBits::from_bytes(&bytes) }])
+pub fn extract_dram_raw(
+    soc: &Soc,
+    addr: u64,
+    len: usize,
+) -> Result<Vec<ExtractedImage>, AttackError> {
+    let bytes = soc.dram().raw_cells(addr, len).map_err(AttackError::from)?.to_vec();
+    Ok(vec![ExtractedImage {
+        source: format!("dram@{addr:#x}"),
+        bits: PackedBits::from_bytes(&bytes),
+    }])
 }
 
 /// A placeholder extraction image: the attacker's USB payload. Its
@@ -446,7 +459,11 @@ impl ColdBootAttack {
         let source = if soc.boot_rom().boots_from_internal_rom {
             BootSource::InternalRom
         } else {
-            BootSource::ExternalMedia { image: extraction_stub_image(), entry: 0x8_0000, signed: false }
+            BootSource::ExternalMedia {
+                image: extraction_stub_image(),
+                entry: 0x8_0000,
+                signed: false,
+            }
         };
         soc.boot(source)?;
         steps.push(StepRecord { step: "reboot".into(), detail: "attacker media".into() });
@@ -459,7 +476,10 @@ impl ColdBootAttack {
             skip_reboot: true,
         };
         let images = attack.extract(soc)?;
-        steps.push(StepRecord { step: "extract".into(), detail: format!("{} images", images.len()) });
+        steps.push(StepRecord {
+            step: "extract".into(),
+            detail: format!("{} images", images.len()),
+        });
         Ok(AttackOutcome { steps, rail_held: false, transient_min_voltage: None, images })
     }
 }
@@ -560,10 +580,8 @@ mod tests {
         soc.power_on_all();
         let base = soc.iram().unwrap().base();
         soc.jtag_write(base + 0x8000, &[0xB1; 256]).unwrap();
-        let outcome = VoltBootAttack::new("SH13")
-            .extraction(Extraction::IramJtag)
-            .execute(&mut soc)
-            .unwrap();
+        let outcome =
+            VoltBootAttack::new("SH13").extraction(Extraction::IramJtag).execute(&mut soc).unwrap();
         let image = outcome.image("iram").unwrap();
         assert_eq!(&image.bits.to_bytes()[0x8000..0x8100], &[0xB1; 256][..]);
     }

@@ -61,9 +61,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let key = flag
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, found {flag:?}"))?;
+        let key =
+            flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, found {flag:?}"))?;
         let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         out.insert(key.to_string(), value.clone());
     }
@@ -71,7 +70,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn build_device(opts: &HashMap<String, String>) -> Result<(Soc, &'static str), String> {
-    let seed: u64 = opts.get("seed").map(|s| s.parse()).transpose().map_err(|_| "bad --seed")?.unwrap_or(0xC11);
+    let seed: u64 =
+        opts.get("seed").map(|s| s.parse()).transpose().map_err(|_| "bad --seed")?.unwrap_or(0xC11);
     let device = opts.get("device").map(String::as_str).ok_or("--device is required")?;
     let (soc, pad) = match device {
         "pi4" => (devices::raspberry_pi_4(seed), "TP15"),
@@ -160,8 +160,12 @@ fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
     let default_victim = if soc.iram().is_some() { "bitmap" } else { "nop" };
     stage_victim(&mut soc, opts.get("victim").map(String::as_str).unwrap_or(default_victim))?;
 
-    let current: f64 =
-        opts.get("current").map(|s| s.parse()).transpose().map_err(|_| "bad --current")?.unwrap_or(3.0);
+    let current: f64 = opts
+        .get("current")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --current")?
+        .unwrap_or(3.0);
     let default_extract = if soc.iram().is_some() { "iram" } else { "caches" };
     let extraction = match opts.get("extract") {
         Some(_) => parse_extraction(&soc, opts)?,
@@ -188,8 +192,12 @@ fn cmd_coldboot(opts: &HashMap<String, String>) -> Result<(), String> {
     let default_victim = if soc.iram().is_some() { "bitmap" } else { "nop" };
     stage_victim(&mut soc, opts.get("victim").map(String::as_str).unwrap_or(default_victim))?;
 
-    let celsius: f64 =
-        opts.get("celsius").map(|s| s.parse()).transpose().map_err(|_| "bad --celsius")?.unwrap_or(-40.0);
+    let celsius: f64 = opts
+        .get("celsius")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --celsius")?
+        .unwrap_or(-40.0);
     let off_ms: u64 =
         opts.get("off-ms").map(|s| s.parse()).transpose().map_err(|_| "bad --off-ms")?.unwrap_or(5);
     let default_extract = if soc.iram().is_some() { "iram" } else { "caches" };
@@ -212,7 +220,8 @@ fn cmd_coldboot(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
-    let seed: u64 = opts.get("seed").map(|s| s.parse()).transpose().map_err(|_| "bad --seed")?.unwrap_or(0xC11);
+    let seed: u64 =
+        opts.get("seed").map(|s| s.parse()).transpose().map_err(|_| "bad --seed")?.unwrap_or(0xC11);
     println!("probe current limit vs extraction accuracy:\n");
     let mut table = TextTable::new(["Limit", "Transient min", "Accuracy"]);
     for p in voltboot::experiments::ablations::probe_current_sweep(seed) {

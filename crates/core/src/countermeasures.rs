@@ -166,7 +166,12 @@ mod tests {
     fn purge_clears_registers_and_caches() {
         let mut soc = devices::raspberry_pi_4(2);
         soc.power_on_all();
-        soc.run_program(0, &voltboot_armlite::program::builders::fill_vector_registers(), 0x8_0000, 10_000);
+        soc.run_program(
+            0,
+            &voltboot_armlite::program::builders::fill_vector_registers(),
+            0x8_0000,
+            10_000,
+        );
         run_power_down_purge(&mut soc).unwrap();
         assert_eq!(soc.core(0).unwrap().cpu.v(0), [0, 0]);
         assert_eq!(soc.core(0).unwrap().l1d.way_image(0).unwrap().count_ones(), 0);

@@ -204,7 +204,9 @@ mod tests {
         let key = *b"cold boot aes128";
         let image = decayed_schedule_image(key, &[]);
         let found = recover_aes128_keys(&image, GroundState::Zero);
-        assert!(found.iter().any(|r| r.repaired_bits == 0 && r.schedule.original_key().bytes() == key));
+        assert!(found
+            .iter()
+            .any(|r| r.repaired_bits == 0 && r.schedule.original_key().bytes() == key));
     }
 
     #[test]

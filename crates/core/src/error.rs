@@ -35,7 +35,9 @@ impl fmt::Display for AttackError {
             AttackError::Soc(e) => write!(f, "device error: {e}"),
             AttackError::BootDefeated { reason } => write!(f, "boot defeated the attack: {reason}"),
             AttackError::ExtractionDenied { detail } => write!(f, "extraction denied: {detail}"),
-            AttackError::BadConfiguration { detail } => write!(f, "bad attack configuration: {detail}"),
+            AttackError::BadConfiguration { detail } => {
+                write!(f, "bad attack configuration: {detail}")
+            }
         }
     }
 }

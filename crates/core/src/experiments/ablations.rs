@@ -145,10 +145,8 @@ mod tests {
     fn remanence_is_monotone_along_both_axes() {
         let curve = remanence_curve(0xCE12);
         for &t in &[-150.0, -110.0, -90.0, -40.0, 0.0, 25.0] {
-            let series: Vec<f64> = [1u64, 5, 20, 100, 500]
-                .iter()
-                .map(|&ms| point(&curve, t, ms))
-                .collect();
+            let series: Vec<f64> =
+                [1u64, 5, 20, 100, 500].iter().map(|&ms| point(&curve, t, ms)).collect();
             assert!(series.windows(2).all(|w| w[0] >= w[1] - 1e-9), "{t} C: {series:?}");
         }
         for &ms in &[1u64, 5, 20, 100, 500] {
@@ -165,9 +163,8 @@ mod tests {
         // A reduced sweep keeps the debug-mode test quick; the bench
         // binary runs the full nine-point curve.
         let sweep = probe_current_sweep_points(0x53EE, &[0.1, 1.0, 3.0]);
-        let acc = |limit: f64| {
-            sweep.iter().find(|p| p.current_limit == limit).expect("point").accuracy
-        };
+        let acc =
+            |limit: f64| sweep.iter().find(|p| p.current_limit == limit).expect("point").accuracy;
         assert!(acc(0.1) < 0.95, "a 0.1 A source must corrupt cells: {}", acc(0.1));
         assert_eq!(acc(3.0), 1.0, "the paper's 3 A supply is error-free");
         // Accuracy is monotone in current capability, up to chance-level

@@ -73,8 +73,7 @@ pub fn run(seed: u64) -> DramBaselineResult {
         // Decay measured over the 176-byte schedule window only (the
         // surrounding padding already sits at ground state).
         let staged_window = voltboot_sram::PackedBits::from_bytes(&schedule.to_bytes());
-        let observed_window =
-            voltboot_sram::PackedBits::from_bytes(&dram_image.bytes_at(0, 176));
+        let observed_window = voltboot_sram::PackedBits::from_bytes(&dram_image.bytes_at(0, 176));
         let dram_decay = observed_window.fractional_hamming(&staged_window);
 
         let recovered = recover_and_verify(dram_image, GroundState::Zero, |aes| {

@@ -34,13 +34,22 @@ pub struct Fig7Result {
     pub devices: Vec<Fig7Device>,
 }
 
-/// Runs the experiment on both Raspberry Pis.
+/// Runs the experiment on both Raspberry Pis (in parallel — the two
+/// boards are independent).
 pub fn run(seed: u64) -> Fig7Result {
-    let mut devices_out = Vec::new();
-    for (build, pad) in [
+    let jobs: Vec<Box<dyn FnOnce() -> Fig7Device + Send>> = [
         (devices::raspberry_pi_4 as fn(u64) -> voltboot_soc::Soc, "TP15"),
         (devices::raspberry_pi_3 as fn(u64) -> voltboot_soc::Soc, "PP58"),
-    ] {
+    ]
+    .into_iter()
+    .map(|(build, pad)| Box::new(move || run_device(seed, build, pad)) as Box<_>)
+    .collect();
+    Fig7Result { devices: voltboot_sram::par::join_all(jobs) }
+}
+
+/// The attack flow on one device.
+fn run_device(seed: u64, build: fn(u64) -> voltboot_soc::Soc, pad: &str) -> Fig7Device {
+    {
         let mut soc = build(seed);
         soc.power_on_all();
         workloads::baremetal_nop_fill(&mut soc).expect("victim runs");
@@ -62,14 +71,13 @@ pub fn run(seed: u64) -> Fig7Result {
             .collect();
         let way0 = outcome.image("core0.l1i.way0").unwrap().bits.clone();
         let nop_words_core0 = analysis::count_pattern(&way0, &0xD503201Fu32.to_le_bytes());
-        devices_out.push(Fig7Device {
+        Fig7Device {
             soc: soc.soc_name().to_string(),
             per_core_accuracy,
             nop_words_core0,
             way_image_core0: way0,
-        });
+        }
     }
-    Fig7Result { devices: devices_out }
 }
 
 #[cfg(test)]

@@ -51,8 +51,7 @@ pub fn run(seed: u64) -> Fig8Result {
 
     let dcache_way = outcome.image("core0.l1d.way0").unwrap().bits.clone();
     let icache_way = outcome.image("core0.l1i.way0").unwrap().bits.clone();
-    let pattern_bytes =
-        dcache_way.to_bytes().iter().filter(|&&b| b == 0xAA).count();
+    let pattern_bytes = dcache_way.to_bytes().iter().filter(|&&b| b == 0xAA).count();
 
     // Grep the i-cache (all ways) for the victim's instructions.
     let mut icache_bytes = Vec::new();
@@ -60,10 +59,8 @@ pub fn run(seed: u64) -> Fig8Result {
         icache_bytes.extend(img.bits.to_bytes());
     }
     let icache_all = PackedBits::from_bytes(&icache_bytes);
-    let found = victim_words
-        .iter()
-        .filter(|w| analysis::count_pattern(&icache_all, *w) > 0)
-        .count();
+    let found =
+        victim_words.iter().filter(|w| analysis::count_pattern(&icache_all, *w) > 0).count();
     let instruction_fraction = found as f64 / victim_words.len() as f64;
 
     Fig8Result { dcache_way, icache_way, pattern_bytes, instruction_fraction }

@@ -83,8 +83,11 @@ mod tests {
         // Clusters sit at the start (scratchpad window: bytes
         // 0x83C..0x18CC = windows 32..100) and end (tail stack).
         let windows = r.hamming_series.len();
-        assert!(r.error_clusters.iter().all(|&w| w < 100 || w >= windows - 40),
-            "clusters not at start/end: {:?}", r.error_clusters);
+        assert!(
+            r.error_clusters.iter().all(|&w| w < 100 || w >= windows - 40),
+            "clusters not at start/end: {:?}",
+            r.error_clusters
+        );
         // The scratchpad window 0x83C..0x18CC covers bits 16864..50784,
         // i.e. windows ~32..99... confirm a cluster near window 40.
         assert!(r.error_clusters.iter().any(|&w| (30..100).contains(&w)));

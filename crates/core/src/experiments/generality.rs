@@ -37,10 +37,9 @@ pub struct GeneralityResult {
 pub fn run(seed: u64) -> GeneralityResult {
     let mut rows = Vec::new();
 
-    for (build, pad) in [
-        (devices::raspberry_pi_4 as fn(u64) -> Soc, "TP15"),
-        (devices::raspberry_pi_3, "PP58"),
-    ] {
+    for (build, pad) in
+        [(devices::raspberry_pi_4 as fn(u64) -> Soc, "TP15"), (devices::raspberry_pi_3, "PP58")]
+    {
         let mut soc = build(seed);
         soc.power_on_all();
         workloads::baremetal_nop_fill(&mut soc).expect("victim runs");
@@ -81,7 +80,8 @@ pub fn run(seed: u64) -> GeneralityResult {
     let dump = &outcome.image("iram").unwrap().bits;
     // Middle half of the iRAM: untouched by the boot ROM.
     let quarter = reference.len() / 8 / 4;
-    let mid_ref = voltboot_sram::PackedBits::from_bytes(&reference.to_bytes()[quarter..3 * quarter]);
+    let mid_ref =
+        voltboot_sram::PackedBits::from_bytes(&reference.to_bytes()[quarter..3 * quarter]);
     let mid_got = voltboot_sram::PackedBits::from_bytes(&dump.to_bytes()[quarter..3 * quarter]);
     rows.push(GeneralityRow {
         board: imx.board_name().into(),

@@ -7,8 +7,8 @@
 
 use crate::analysis;
 use crate::attack::{Extraction, VoltBootAttack};
-use crate::error::AttackError;
 use crate::countermeasures::{mark_dcache_secure, Countermeasure};
+use crate::error::AttackError;
 use crate::workloads;
 use serde::{Deserialize, Serialize};
 use voltboot_soc::devices;
@@ -38,13 +38,14 @@ pub struct Sec8Result {
 /// Number of `0xAA` bytes the victim stages per way (ground truth).
 const VICTIM_BYTES: u32 = 8 * 1024;
 
-/// Runs the matrix on a Raspberry Pi 4.
+/// Runs the matrix on a Raspberry Pi 4. Each countermeasure is evaluated
+/// on its own fresh board, so the rows run in parallel.
 pub fn run(seed: u64) -> Sec8Result {
-    let rows = Countermeasure::all()
+    let jobs: Vec<Box<dyn FnOnce() -> Sec8Row + Send>> = Countermeasure::all()
         .into_iter()
-        .map(|cm| evaluate(seed, cm))
+        .map(|cm| Box::new(move || evaluate(seed, cm)) as Box<_>)
         .collect();
-    Sec8Result { rows }
+    Sec8Result { rows: voltboot_sram::par::join_all(jobs) }
 }
 
 fn evaluate(seed: u64, cm: Countermeasure) -> Sec8Row {

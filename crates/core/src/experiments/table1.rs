@@ -39,9 +39,21 @@ pub struct Table1Result {
 pub const TEMPERATURES: [f64; 3] = [0.0, -5.0, -40.0];
 
 /// Runs the experiment on a BCM2711 with the given die seed.
+///
+/// The three chamber runs use fresh, independent boards, so they execute
+/// in parallel; each row depends only on `(seed, temperature index)`.
 pub fn run(seed: u64) -> Table1Result {
-    let mut rows = Vec::new();
-    for (i, &celsius) in TEMPERATURES.iter().enumerate() {
+    let jobs: Vec<Box<dyn FnOnce() -> Table1Row + Send>> = TEMPERATURES
+        .iter()
+        .enumerate()
+        .map(|(i, &celsius)| Box::new(move || run_temperature(seed, i, celsius)) as Box<_>)
+        .collect();
+    Table1Result { rows: voltboot_sram::par::join_all(jobs) }
+}
+
+/// One chamber run at one temperature.
+fn run_temperature(seed: u64, i: usize, celsius: f64) -> Table1Row {
+    {
         // A fresh board per chamber run, as in the paper's methodology.
         let mut soc = devices::raspberry_pi_4(seed ^ ((i as u64 + 1) << 32));
         soc.power_on_all();
@@ -78,14 +90,8 @@ pub fn run(seed: u64) -> Table1Result {
             hd_startup_acc += analysis::fractional_hamming(image, &startup[core]);
         }
         let mean_error = per_core_error.iter().sum::<f64>() / per_core_error.len() as f64;
-        rows.push(Table1Row {
-            celsius,
-            mean_error,
-            per_core_error,
-            hd_vs_startup: hd_startup_acc / 4.0,
-        });
+        Table1Row { celsius, mean_error, per_core_error, hd_vs_startup: hd_startup_acc / 4.0 }
     }
-    Table1Result { rows }
 }
 
 #[cfg(test)]

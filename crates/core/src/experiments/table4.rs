@@ -74,48 +74,39 @@ pub fn run_pi3(seed: u64, trials: usize) -> Table4Result {
     run_on(seed, trials, devices::raspberry_pi_3, "PP58")
 }
 
+/// Per-core `(w0, w1, union)` element counts from one trial.
+type TrialCounts = [(f64, f64, f64); 4];
+
 fn run_on(
     seed: u64,
     trials: usize,
     build: fn(u64) -> voltboot_soc::Soc,
     pad: &str,
 ) -> Table4Result {
+    // Every (array size, trial) cell uses a fresh board and its own
+    // noise stream, so they all run in parallel; the accumulation below
+    // folds the results in the original deterministic order.
+    let jobs: Vec<Box<dyn FnOnce() -> TrialCounts + Send + '_>> = ARRAY_KB
+        .iter()
+        .flat_map(|&kb| {
+            (0..trials).map(move |trial| {
+                Box::new(move || run_trial(seed, build, pad, kb, trial)) as Box<_>
+            })
+        })
+        .collect();
+    let per_trial = voltboot_sram::par::join_all(jobs);
+
     let mut cells: Vec<Table4Cell> = Vec::new();
-    for &kb in &ARRAY_KB {
+    for (ki, &kb) in ARRAY_KB.iter().enumerate() {
         let count = kb * 1024 / 8;
         // Accumulators per core.
         let mut acc = vec![(0.0f64, 0.0f64, 0.0f64); 4];
         for trial in 0..trials {
-            let mut soc = build(seed ^ ((kb as u64) << 24) ^ (trial as u64));
-            soc.power_on_all();
-            let mut noise = OsNoise::new(seed ^ 0xBAD ^ ((kb as u64) << 8) ^ trial as u64);
-            // One benchmark process per core, as in the paper (§7.1.2:
-            // "We launch one benchmark process per core").
-            for core in 0..4 {
-                workloads::microbenchmark_array(&mut soc, core, count, &mut noise)
-                    .expect("victim runs");
-            }
-            let ways = soc.core(0).expect("core 0").l1d.geometry().ways;
-            let outcome = VoltBootAttack::new(pad)
-                .extraction(Extraction::Caches { cores: vec![0, 1, 2, 3] })
-                .execute(&mut soc)
-                .expect("attack runs");
-            for (core, acc_core) in acc.iter_mut().enumerate() {
-                // W0/W1 columns as in the paper's table; the union spans
-                // every way the device has (2 on the A72, 4 on the A53).
-                let per_way: Vec<Vec<bool>> = (0..ways)
-                    .map(|w| {
-                        let img = &outcome.image(&format!("core{core}.l1d.way{w}")).unwrap().bits;
-                        analysis::elements_present(img, ARRAY_SEED, count as usize)
-                    })
-                    .collect();
-                let found_in = |w: usize| per_way[w].iter().filter(|&&p| p).count();
-                let union = (0..count as usize)
-                    .filter(|&i| per_way.iter().any(|way| way[i]))
-                    .count();
-                acc_core.0 += found_in(0) as f64;
-                acc_core.1 += found_in(1) as f64;
-                acc_core.2 += union as f64;
+            let counts = &per_trial[ki * trials + trial];
+            for (acc_core, c) in acc.iter_mut().zip(counts.iter()) {
+                acc_core.0 += c.0;
+                acc_core.1 += c.1;
+                acc_core.2 += c.2;
             }
         }
         for (core, (w0, w1, union)) in acc.into_iter().enumerate() {
@@ -131,6 +122,48 @@ fn run_on(
         }
     }
     Table4Result { cells, trials }
+}
+
+/// One `(array size, trial)` cell: stage the victims, attack, count
+/// surviving elements per core.
+fn run_trial(
+    seed: u64,
+    build: fn(u64) -> voltboot_soc::Soc,
+    pad: &str,
+    kb: u32,
+    trial: usize,
+) -> TrialCounts {
+    let count = kb * 1024 / 8;
+    let mut soc = build(seed ^ ((kb as u64) << 24) ^ (trial as u64));
+    soc.power_on_all();
+    let mut noise = OsNoise::new(seed ^ 0xBAD ^ ((kb as u64) << 8) ^ trial as u64);
+    // One benchmark process per core, as in the paper (§7.1.2:
+    // "We launch one benchmark process per core").
+    for core in 0..4 {
+        workloads::microbenchmark_array(&mut soc, core, count, &mut noise).expect("victim runs");
+    }
+    let ways = soc.core(0).expect("core 0").l1d.geometry().ways;
+    let outcome = VoltBootAttack::new(pad)
+        .extraction(Extraction::Caches { cores: vec![0, 1, 2, 3] })
+        .execute(&mut soc)
+        .expect("attack runs");
+    let mut counts: TrialCounts = [(0.0, 0.0, 0.0); 4];
+    for (core, acc_core) in counts.iter_mut().enumerate() {
+        // W0/W1 columns as in the paper's table; the union spans
+        // every way the device has (2 on the A72, 4 on the A53).
+        let per_way: Vec<Vec<bool>> = (0..ways)
+            .map(|w| {
+                let img = &outcome.image(&format!("core{core}.l1d.way{w}")).unwrap().bits;
+                analysis::elements_present(img, ARRAY_SEED, count as usize)
+            })
+            .collect();
+        let found_in = |w: usize| per_way[w].iter().filter(|&&p| p).count();
+        let union = (0..count as usize).filter(|&i| per_way.iter().any(|way| way[i])).count();
+        acc_core.0 += found_in(0) as f64;
+        acc_core.1 += found_in(1) as f64;
+        acc_core.2 += union as f64;
+    }
+    counts
 }
 
 #[cfg(test)]

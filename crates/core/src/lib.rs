@@ -67,5 +67,5 @@ pub mod os_noise;
 pub mod report;
 pub mod workloads;
 
-pub use attack::{AttackOutcome, ColdBootAttack, Extraction, ExtractedImage, VoltBootAttack};
+pub use attack::{AttackOutcome, ColdBootAttack, ExtractedImage, Extraction, VoltBootAttack};
 pub use error::AttackError;

@@ -93,7 +93,12 @@ mod tests {
         soc.power_on_all();
         soc.enable_caches(0);
         // Fill the whole 32 KB d-cache with the victim pattern.
-        soc.run_program(0, &builders::fill_bytes(0x10_0000, 0xAA, 32 * 1024), 0x70_0000, 50_000_000);
+        soc.run_program(
+            0,
+            &builders::fill_bytes(0x10_0000, 0xAA, 32 * 1024),
+            0x70_0000,
+            50_000_000,
+        );
         let count_aa = |soc: &voltboot_soc::Soc| -> usize {
             (0..2)
                 .map(|w| {
@@ -122,7 +127,12 @@ mod tests {
             let mut soc = devices::raspberry_pi_4(9);
             soc.power_on_all();
             soc.enable_caches(0);
-            soc.run_program(0, &builders::fill_bytes(0x10_0000, 0x77, 8 * 1024), 0x70_0000, 20_000_000);
+            soc.run_program(
+                0,
+                &builders::fill_bytes(0x10_0000, 0x77, 8 * 1024),
+                0x70_0000,
+                20_000_000,
+            );
             let mut noise = OsNoise::new(seed);
             noise.inject(&mut soc, 0, 32).unwrap();
             soc.core(0).unwrap().l1d.way_image(0).unwrap()

@@ -46,7 +46,9 @@ pub fn baremetal_nop_fill(soc: &mut Soc) -> Result<(), SocError> {
             (sled_words as u64) * 4,
         );
         if !matches!(exit, RunExit::Halted(0)) {
-            return Err(SocError::BootRejected { reason: format!("victim on core {core}: {exit:?}") });
+            return Err(SocError::BootRejected {
+                reason: format!("victim on core {core}: {exit:?}"),
+            });
         }
     }
     Ok(())
@@ -83,7 +85,8 @@ pub fn microbenchmark_array(
     noise: &mut OsNoise,
 ) -> Result<(), SocError> {
     soc.enable_caches(core);
-    let program = builders::fill_words(VICTIM_DATA_ADDR + (core as u64) * 0x4_0000, ARRAY_SEED, count);
+    let program =
+        builders::fill_words(VICTIM_DATA_ADDR + (core as u64) * 0x4_0000, ARRAY_SEED, count);
     run_with_noise(soc, core, &program, noise, 6)
 }
 

@@ -111,6 +111,7 @@ fn tables() -> &'static Tables {
     TABLES.get_or_init(|| {
         let mut sbox = [0u8; 256];
         let mut inv_sbox = [0u8; 256];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..256 {
             let s = affine(gf_inv(i as u8));
             sbox[i] = s;
@@ -203,10 +204,8 @@ impl KeySchedule {
         if bytes.len() != total * 4 {
             return None;
         }
-        let words: Vec<u32> = bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let words: Vec<u32> =
+            bytes.chunks_exact(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect();
         let candidate = KeySchedule { words, rounds, nk };
         candidate.is_consistent().then_some(candidate)
     }
@@ -379,6 +378,7 @@ fn inv_shift_rows(s: &mut State) {
     }
 }
 
+#[allow(clippy::needless_range_loop)]
 fn mix_columns(s: &mut State) {
     for c in 0..4 {
         let col = [s[0][c], s[1][c], s[2][c], s[3][c]];
@@ -389,6 +389,7 @@ fn mix_columns(s: &mut State) {
     }
 }
 
+#[allow(clippy::needless_range_loop)]
 fn inv_mix_columns(s: &mut State) {
     for c in 0..4 {
         let col = [s[0][c], s[1][c], s[2][c], s[3][c]];

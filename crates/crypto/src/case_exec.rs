@@ -61,7 +61,9 @@ impl CaseEnclave {
         let program = schedule_writer_program(base, &bytes);
         let exit = soc.run_program(core, &program, 0x70_0000, 10_000_000);
         if !matches!(exit, voltboot_armlite::RunExit::Halted(0)) {
-            return Err(SocError::BootRejected { reason: format!("enclave loader failed: {exit:?}") });
+            return Err(SocError::BootRejected {
+                reason: format!("enclave loader failed: {exit:?}"),
+            });
         }
 
         // Find which way holds the first schedule line, then lock it.

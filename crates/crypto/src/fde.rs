@@ -56,10 +56,7 @@ pub fn derive_key(password: &str, salt: u64) -> AesKey {
     let mut state = [0u8; 16];
     let mut acc = salt;
     for (i, b) in password.bytes().cycle().take(4096).enumerate() {
-        acc = acc
-            .rotate_left(7)
-            .wrapping_mul(0x100_0000_01b3)
-            .wrapping_add(b as u64 + i as u64);
+        acc = acc.rotate_left(7).wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64 + i as u64);
         state[i % 16] ^= (acc >> 32) as u8;
     }
     AesKey::Aes128(state)
@@ -115,12 +112,15 @@ impl EncryptedDisk {
     /// # Panics
     ///
     /// Panics if `plaintext` is not exactly one sector.
-    pub fn write_sector(&mut self, aes: &Aes, sector: u64, plaintext: &[u8]) -> Result<(), FdeError> {
+    pub fn write_sector(
+        &mut self,
+        aes: &Aes,
+        sector: u64,
+        plaintext: &[u8],
+    ) -> Result<(), FdeError> {
         assert_eq!(plaintext.len(), SECTOR_BYTES);
-        let slot = self
-            .sectors
-            .get_mut(sector as usize)
-            .ok_or(FdeError::SectorOutOfRange { sector })?;
+        let slot =
+            self.sectors.get_mut(sector as usize).ok_or(FdeError::SectorOutOfRange { sector })?;
         let ct = aes.ctr_process(&Self::sector_iv(sector), plaintext);
         slot.copy_from_slice(&ct);
         Ok(())

@@ -83,7 +83,13 @@ pub struct PowerDomain {
 impl PowerDomain {
     /// Creates a powered-on domain.
     pub fn new(name: impl Into<String>, kind: DomainKind, rail: impl Into<String>) -> Self {
-        PowerDomain { name: name.into(), kind, rail: rail.into(), loads: Vec::new(), gated_on: true }
+        PowerDomain {
+            name: name.into(),
+            kind,
+            rail: rail.into(),
+            loads: Vec::new(),
+            gated_on: true,
+        }
     }
 
     /// Adds a load (builder style).

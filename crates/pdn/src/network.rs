@@ -144,17 +144,19 @@ impl PowerNetwork {
     /// [`PdnError::UnknownProbePoint`] if the pad does not exist.
     pub fn measure_pad(&self, pad: &str) -> Result<f64, PdnError> {
         let point = self.find_pad(pad)?;
-        let rail = self
-            .pmic
-            .rail(&point.rail)
-            .expect("probe points are validated against the pmic");
+        let rail =
+            self.pmic.rail(&point.rail).expect("probe points are validated against the pmic");
         if self.main_connected {
             Ok(rail.nominal_voltage)
         } else {
-            Ok(self.attached.iter().find_map(|(p, probe)| {
-                let at = self.find_pad(p).ok()?;
-                (at.rail == point.rail).then_some(probe.voltage)
-            }).unwrap_or(0.0))
+            Ok(self
+                .attached
+                .iter()
+                .find_map(|(p, probe)| {
+                    let at = self.find_pad(p).ok()?;
+                    (at.rail == point.rail).then_some(probe.voltage)
+                })
+                .unwrap_or(0.0))
         }
     }
 
@@ -172,7 +174,10 @@ impl PowerNetwork {
             return Err(PdnError::ProbeAlreadyAttached { pad: pad.to_string() });
         }
         if (probe.voltage - live).abs() > 0.05 {
-            return Err(PdnError::ProbeVoltageMismatch { probe_volts: probe.voltage, rail_volts: live });
+            return Err(PdnError::ProbeVoltageMismatch {
+                probe_volts: probe.voltage,
+                rail_volts: live,
+            });
         }
         self.attached.push((pad.to_string(), probe));
         Ok(())
@@ -205,7 +210,9 @@ impl PowerNetwork {
     /// [`PdnError::InvalidMainTransition`] if main power is already off.
     pub fn disconnect_main(&mut self) -> Result<DisconnectOutcome, PdnError> {
         if !self.main_connected {
-            return Err(PdnError::InvalidMainTransition { attempted: "disconnect while disconnected" });
+            return Err(PdnError::InvalidMainTransition {
+                attempted: "disconnect while disconnected",
+            });
         }
         self.main_connected = false;
 

@@ -87,7 +87,12 @@ impl DisconnectTransient {
         let min_voltage = (probe.voltage - ir_drop - l_drop - foldback).max(0.0);
         let steady_voltage =
             (probe.voltage - surge.steady_current.min(probe.current_limit) * r_total).max(0.0);
-        DisconnectTransient { steady_voltage, min_voltage, peak_current: delivered, current_limited }
+        DisconnectTransient {
+            steady_voltage,
+            min_voltage,
+            peak_current: delivered,
+            current_limited,
+        }
     }
 }
 
@@ -148,7 +153,11 @@ mod tests {
             let t = DisconnectTransient::compute(
                 &probe,
                 &rail,
-                &SurgeProfile { steady_current: 0.4, surge_current: surge_a, surge_duration: 20e-6 },
+                &SurgeProfile {
+                    steady_current: 0.4,
+                    surge_current: surge_a,
+                    surge_duration: 20e-6,
+                },
             );
             assert!(t.min_voltage <= last + 1e-12, "droop not monotone at {surge_a} A");
             last = t.min_voltage;

@@ -183,20 +183,20 @@ mod tests {
     #[test]
     fn held_cycle_preserves_control_flow_history() {
         let mut b = powered_btb();
-        b.record(0xBEEF_00, 0xCAFE_00).unwrap();
+        b.record(0xBEEF00, 0xCAFE00).unwrap();
         b.power_off(OffEvent::held(0.8)).unwrap();
         b.elapse(Duration::from_secs(5), Temperature::ROOM);
         b.power_on().unwrap();
-        assert!(b.recorded_branches().unwrap().contains(&(0xBEEF_00, 0xCAFE_00)));
+        assert!(b.recorded_branches().unwrap().contains(&(0xBEEF00, 0xCAFE00)));
     }
 
     #[test]
     fn unheld_cycle_destroys_history() {
         let mut b = powered_btb();
-        b.record(0xBEEF_00, 0xCAFE_00).unwrap();
+        b.record(0xBEEF00, 0xCAFE00).unwrap();
         b.power_off(OffEvent::unpowered()).unwrap();
         b.elapse(Duration::from_millis(500), Temperature::ROOM);
         b.power_on().unwrap();
-        assert!(!b.recorded_branches().unwrap().contains(&(0xBEEF_00, 0xCAFE_00)));
+        assert!(!b.recorded_branches().unwrap().contains(&(0xBEEF00, 0xCAFE00)));
     }
 }

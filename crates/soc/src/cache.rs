@@ -51,7 +51,7 @@ impl CacheGeometry {
     /// Panics unless `size = ways * sets * line` divides evenly and all
     /// parameters are powers of two.
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
-        assert!(size_bytes.is_power_of_two() || (size_bytes % (ways * line_bytes) == 0));
+        assert!(size_bytes.is_power_of_two() || size_bytes.is_multiple_of(ways * line_bytes));
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         let g = CacheGeometry { size_bytes, ways, line_bytes };
         assert!(g.sets() > 0 && g.sets().is_power_of_two(), "sets must be a power of two");
@@ -425,7 +425,8 @@ impl Cache {
             None => self.fill(addr, security, lower)?,
         };
         let line = self.line_index(set, way);
-        let bytes = self.data.try_read_bytes(line * self.geometry.line_bytes + offset, buf.len())?;
+        let bytes =
+            self.data.try_read_bytes(line * self.geometry.line_bytes + offset, buf.len())?;
         buf.copy_from_slice(&bytes);
         Ok(())
     }
@@ -511,7 +512,12 @@ impl Cache {
     /// # Errors
     ///
     /// [`SocError::RamIndexOutOfRange`] or SRAM failures.
-    pub fn raw_way_bytes(&self, way: usize, offset: usize, len: usize) -> Result<Vec<u8>, SocError> {
+    pub fn raw_way_bytes(
+        &self,
+        way: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, SocError> {
         let way_bytes = self.geometry.sets() * self.geometry.line_bytes;
         if way >= self.geometry.ways || offset + len > way_bytes {
             return Err(SocError::RamIndexOutOfRange { way: way as u8, index: offset as u32 });
@@ -828,14 +834,8 @@ mod tests {
 
     fn powered_cache() -> Cache {
         // 4 KB, 2-way, 64 B lines -> 32 sets.
-        let mut c = Cache::new(
-            "t.l1d",
-            CacheKind::Data,
-            CacheGeometry::new(4096, 2, 64),
-            0.8,
-            1.0,
-            99,
-        );
+        let mut c =
+            Cache::new("t.l1d", CacheKind::Data, CacheGeometry::new(4096, 2, 64), 0.8, 1.0, 99);
         c.power_on().unwrap();
         c.invalidate_all().unwrap();
         c.set_enabled(true);

@@ -150,14 +150,7 @@ mod tests {
     use crate::cache::{CacheGeometry, CacheKind, SecurityState};
 
     fn cache_with_line() -> Cache {
-        let mut c = Cache::new(
-            "t",
-            CacheKind::Data,
-            CacheGeometry::new(4096, 2, 64),
-            0.8,
-            1.0,
-            1,
-        );
+        let mut c = Cache::new("t", CacheKind::Data, CacheGeometry::new(4096, 2, 64), 0.8, 1.0, 1);
         c.power_on().unwrap();
         c.invalidate_all().unwrap();
         c

@@ -136,18 +136,19 @@ pub fn imx53_qsb(seed: u64) -> Soc {
         .with_rail(Rail::new("VDD_IO", 3.15, RegulatorKind::Ldo))
         .with_rail(Rail::new("VCCGP", 1.1, RegulatorKind::Buck))
         .with_rail(Rail::new("VDDAL1", 1.3, RegulatorKind::Ldo));
-    let network = PowerNetwork::new(pmic)
-        .with_domain(
-            PowerDomain::new("core", DomainKind::Core, "VCCGP")
-                .with_load(Load::compute_cluster("cortex-a8", 0.3, 1.2)),
-        )
-        .with_domain(
-            PowerDomain::new("l1-memory", DomainKind::Memory, "VDDAL1")
-                .with_load(Load::sram("iram", 0.008))
-                .with_load(Load::sram("l1l2-srams", 0.01)),
-        )
-        .with_domain(PowerDomain::new("io", DomainKind::Io, "VDD_IO"))
-        .with_probe_point(ProbePoint::new("SH13", "VDDAL1", "capacitor lead near the PMIC"));
+    let network =
+        PowerNetwork::new(pmic)
+            .with_domain(
+                PowerDomain::new("core", DomainKind::Core, "VCCGP")
+                    .with_load(Load::compute_cluster("cortex-a8", 0.3, 1.2)),
+            )
+            .with_domain(
+                PowerDomain::new("l1-memory", DomainKind::Memory, "VDDAL1")
+                    .with_load(Load::sram("iram", 0.008))
+                    .with_load(Load::sram("l1l2-srams", 0.01)),
+            )
+            .with_domain(PowerDomain::new("io", DomainKind::Io, "VDD_IO"))
+            .with_probe_point(ProbePoint::new("SH13", "VDDAL1", "capacitor lead near the PMIC"));
 
     Soc::from_config(SocConfig {
         soc_name: "i.MX535".into(),
@@ -183,10 +184,28 @@ pub fn imx53_qsb(seed: u64) -> Soc {
 
 /// Table 2/3 rows for reporting: `(board, soc, cpu, pad, rail, volts,
 /// target memories)`.
-pub fn catalog_rows() -> Vec<(&'static str, &'static str, &'static str, &'static str, &'static str, f64, &'static str)> {
+pub fn catalog_rows(
+) -> Vec<(&'static str, &'static str, &'static str, &'static str, &'static str, f64, &'static str)>
+{
     vec![
-        ("Raspberry Pi 4", "BCM2711", "4x Cortex-A72", "TP15", "VDD_CORE", 0.8, "L1D, L1I, registers"),
-        ("Raspberry Pi 3", "BCM2837", "4x Cortex-A53", "PP58", "VDD_CORE", 1.2, "L1D, L1I, registers"),
+        (
+            "Raspberry Pi 4",
+            "BCM2711",
+            "4x Cortex-A72",
+            "TP15",
+            "VDD_CORE",
+            0.8,
+            "L1D, L1I, registers",
+        ),
+        (
+            "Raspberry Pi 3",
+            "BCM2837",
+            "4x Cortex-A53",
+            "PP58",
+            "VDD_CORE",
+            1.2,
+            "L1D, L1I, registers",
+        ),
         ("i.MX53 QSB", "i.MX535", "1x Cortex-A8", "SH13", "VDDAL1", 1.3, "iRAM"),
     ]
 }

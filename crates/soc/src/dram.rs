@@ -57,7 +57,9 @@ impl Dram {
         let a = self.check_range(addr, len)?;
         Ok(match self.scramble_key {
             None => self.bytes[a..a + len].to_vec(),
-            Some(key) => (0..len).map(|i| self.bytes[a + i] ^ Self::pad(key, addr + i as u64)).collect(),
+            Some(key) => {
+                (0..len).map(|i| self.bytes[a + i] ^ Self::pad(key, addr + i as u64)).collect()
+            }
         })
     }
 

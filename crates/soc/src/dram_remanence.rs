@@ -106,7 +106,10 @@ pub fn apply_decay(
                 continue;
             }
             // Deterministic per-cell draw.
-            let h = mix(seed ^ event.wrapping_mul(0x9E37_79B9_7F4A_7C15), (offset * 8 + bit as usize) as u64);
+            let h = mix(
+                seed ^ event.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                (offset * 8 + bit as usize) as u64,
+            );
             let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
             if u < p {
                 if anti {
@@ -166,10 +169,7 @@ mod tests {
         dram.write(m.cell_block_bytes as u64, &[0x00; 64]).unwrap();
         apply_decay(&mut dram, &m, Duration::from_secs(3600), Temperature::ROOM, 1, 0);
         assert_eq!(dram.raw_cells(0, 64).unwrap(), &[0u8; 64][..]);
-        assert_eq!(
-            dram.raw_cells(m.cell_block_bytes as u64, 64).unwrap(),
-            &[0xFFu8; 64][..]
-        );
+        assert_eq!(dram.raw_cells(m.cell_block_bytes as u64, 64).unwrap(), &[0xFFu8; 64][..]);
     }
 
     #[test]
@@ -177,8 +177,14 @@ mod tests {
         let m = DramRemanenceModel::calibrated();
         let mut dram = Dram::new(8192);
         dram.write(0, &[0xA5; 4096]).unwrap();
-        let flipped =
-            apply_decay(&mut dram, &m, Duration::from_secs(60), Temperature::from_celsius(-50.0), 2, 0);
+        let flipped = apply_decay(
+            &mut dram,
+            &m,
+            Duration::from_secs(60),
+            Temperature::from_celsius(-50.0),
+            2,
+            0,
+        );
         let total_charged = 4096 * 4; // half the bits of 0xA5 per block... roughly
         assert!(
             (flipped as f64) < 0.02 * total_charged as f64,
@@ -192,8 +198,12 @@ mod tests {
         let mut dram = Dram::new(4096);
         dram.write(0, &[0xFF; 4096]).unwrap();
         apply_decay(&mut dram, &m, Duration::from_secs(120), Temperature::from_celsius(45.0), 3, 0);
-        let survivors = dram.raw_cells(0, 4096).unwrap().iter().map(|b| b.count_ones()).sum::<u32>();
-        assert!(survivors < 400, "warm decay should erase nearly everything: {survivors} bits left");
+        let survivors =
+            dram.raw_cells(0, 4096).unwrap().iter().map(|b| b.count_ones()).sum::<u32>();
+        assert!(
+            survivors < 400,
+            "warm decay should erase nearly everything: {survivors} bits left"
+        );
     }
 
     #[test]

@@ -156,10 +156,7 @@ mod tests {
     fn out_of_region_is_unmapped() {
         let mut i = powered_iram();
         assert!(matches!(i.read(0x0, 1), Err(SocError::Unmapped { .. })));
-        assert!(matches!(
-            i.write(0xF801_FFFF, &[0, 0]),
-            Err(SocError::Unmapped { .. })
-        ));
+        assert!(matches!(i.write(0xF801_FFFF, &[0, 0]), Err(SocError::Unmapped { .. })));
     }
 
     #[test]

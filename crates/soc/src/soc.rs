@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use voltboot_armlite::{Bus, BusFault, Cpu, Program, RamIndexRequest, RunExit};
 use voltboot_pdn::{DisconnectOutcome, PowerNetwork, Probe, RailOutcome};
-use voltboot_sram::{OffEvent, RetentionReport, Temperature};
+use voltboot_sram::{par, OffEvent, RetentionReport, Temperature};
 
 /// One CPU core: an interpreter plus its private L1 caches and physical
 /// NEON register file.
@@ -340,21 +340,39 @@ impl Soc {
     // ------------------------------------------------------------------
 
     /// Initial board bring-up: powers every SRAM array (first power-on
-    /// leaves them in their power-up states).
+    /// leaves them in their power-up states). Independent arrays power
+    /// on in parallel; each array's contents are a pure function of its
+    /// own seed, so the result is identical to the sequential order.
     pub fn power_on_all(&mut self) {
-        for core in &mut self.cores {
-            let _ = core.l1i.power_on();
-            let _ = core.l1d.power_on();
-            let _ = core.vregs.power_on();
-            let _ = core.tlb.power_on();
-            let _ = core.btb.power_on();
-        }
-        let _ = self.l2.power_on();
-        if let Some(iram) = &mut self.iram {
-            let _ = iram.power_on();
-        }
+        let _ = Self::power_on_arrays(&mut self.cores, &mut self.l2, self.iram.as_mut());
         self.sync_cpu_regs_from_sram();
         self.ever_powered = true;
+    }
+
+    /// Powers every SRAM array on across threads, returning the reports
+    /// in the canonical order (per core: l1i, l1d, vregs, tlb, btb; then
+    /// l2; then iram). The first error, if any, is returned after every
+    /// array has completed its transition.
+    fn power_on_arrays(
+        cores: &mut [Core],
+        l2: &mut Cache,
+        iram: Option<&mut Iram>,
+    ) -> Result<Vec<RetentionReport>, SocError> {
+        type Job<'a> = Box<dyn FnOnce() -> Result<RetentionReport, SocError> + Send + 'a>;
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        for core in cores {
+            let Core { l1i, l1d, vregs, tlb, btb, .. } = core;
+            jobs.push(Box::new(|| l1i.power_on()));
+            jobs.push(Box::new(|| l1d.power_on()));
+            jobs.push(Box::new(|| vregs.power_on()));
+            jobs.push(Box::new(|| tlb.power_on()));
+            jobs.push(Box::new(|| btb.power_on()));
+        }
+        jobs.push(Box::new(|| l2.power_on()));
+        if let Some(iram) = iram {
+            jobs.push(Box::new(|| iram.power_on()));
+        }
+        par::join_all(jobs).into_iter().collect()
     }
 
     /// Attaches an external probe at a PCB pad.
@@ -443,18 +461,7 @@ impl Soc {
 
         self.network.reconnect_main()?;
 
-        let mut retention = Vec::new();
-        for core in &mut self.cores {
-            retention.push(core.l1i.power_on()?);
-            retention.push(core.l1d.power_on()?);
-            retention.push(core.vregs.power_on()?);
-            retention.push(core.tlb.power_on()?);
-            retention.push(core.btb.power_on()?);
-        }
-        retention.push(self.l2.power_on()?);
-        if let Some(iram) = &mut self.iram {
-            retention.push(iram.power_on()?);
-        }
+        let retention = Self::power_on_arrays(&mut self.cores, &mut self.l2, self.iram.as_mut())?;
 
         // Cores reset; NEON registers resolve from their SRAM.
         for core in &mut self.cores {
@@ -681,7 +688,12 @@ impl Soc {
             dram: &mut self.dram,
             security: SecurityState::NonSecure,
         };
-        c.l1d.evict_one(set, addr & !(c.l1d.geometry().line_bytes as u64 - 1), SecurityState::NonSecure, &mut lower)
+        c.l1d.evict_one(
+            set,
+            addr & !(c.l1d.geometry().line_bytes as u64 - 1),
+            SecurityState::NonSecure,
+            &mut lower,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -803,7 +815,7 @@ impl CoreBus<'_> {
 
 impl Bus for CoreBus<'_> {
     fn read(&mut self, addr: u64, size: u8) -> Result<u64, BusFault> {
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             return Err(BusFault::Misaligned { addr, size });
         }
         let _ = self.tlb.touch(addr);
@@ -823,7 +835,7 @@ impl Bus for CoreBus<'_> {
     }
 
     fn write(&mut self, addr: u64, size: u8, value: u64) -> Result<(), BusFault> {
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             return Err(BusFault::Misaligned { addr, size });
         }
         let _ = self.tlb.touch(addr);
@@ -840,7 +852,7 @@ impl Bus for CoreBus<'_> {
     }
 
     fn fetch(&mut self, addr: u64) -> Result<u32, BusFault> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(BusFault::Misaligned { addr, size: 4 });
         }
         let _ = self.tlb.touch(addr);
@@ -893,11 +905,13 @@ impl Bus for CoreBus<'_> {
             RamId::L1DTag => (&*self.l1d, false),
             RamId::L1DData => (&*self.l1d, true),
             RamId::Tlb => {
-                let word = self.tlb.entry_word(req.index as usize).map_err(|e| to_bus_fault(0, e))?;
+                let word =
+                    self.tlb.entry_word(req.index as usize).map_err(|e| to_bus_fault(0, e))?;
                 return Ok([word, 0, 0, 0]);
             }
             RamId::Btb => {
-                let word = self.btb.entry_word(req.index as usize).map_err(|e| to_bus_fault(0, e))?;
+                let word =
+                    self.btb.entry_word(req.index as usize).map_err(|e| to_bus_fault(0, e))?;
                 return Ok([word, 0, 0, 0]);
             }
         };
@@ -962,7 +976,8 @@ mod tests {
     fn data_writes_land_in_l1d() {
         let mut soc = pi4();
         soc.enable_caches(0);
-        let exit = soc.run_program(0, &builders::fill_bytes(0x80000, 0xAA, 1024), 0x10000, 1_000_000);
+        let exit =
+            soc.run_program(0, &builders::fill_bytes(0x80000, 0xAA, 1024), 0x10000, 1_000_000);
         assert_eq!(exit, RunExit::Halted(0));
         let w0 = soc.core(0).unwrap().l1d.way_image(0).unwrap().to_bytes();
         let w1 = soc.core(0).unwrap().l1d.way_image(1).unwrap().to_bytes();
@@ -1023,7 +1038,9 @@ mod tests {
         soc.run_program(0, &builders::fill_vector_registers(), 0x10000, 10_000);
         soc.power_cycle(PowerCycleSpec::quick()).unwrap();
         let file = soc.core(0).unwrap().cpu.vector_file();
-        assert!(file.iter().any(|&v| v != [0xFFFF_FFFF_FFFF_FFFF; 2] && v != [0xAAAA_AAAA_AAAA_AAAA; 2]));
+        assert!(file
+            .iter()
+            .any(|&v| v != [0xFFFF_FFFF_FFFF_FFFF; 2] && v != [0xAAAA_AAAA_AAAA_AAAA; 2]));
     }
 
     #[test]

@@ -207,7 +207,7 @@ mod tests {
         t.power_off(OffEvent::held(0.8)).unwrap();
         t.elapse(Duration::from_secs(5), Temperature::ROOM);
         t.power_on().unwrap();
-        assert!(t.resident_pages().unwrap().contains(&0xDEAD_0));
+        assert!(t.resident_pages().unwrap().contains(&0xDEAD0));
     }
 
     #[test]
@@ -217,7 +217,7 @@ mod tests {
         t.power_off(OffEvent::unpowered()).unwrap();
         t.elapse(Duration::from_millis(500), Temperature::ROOM);
         t.power_on().unwrap();
-        assert!(!t.resident_pages().unwrap().contains(&0xDEAD_0));
+        assert!(!t.resident_pages().unwrap().contains(&0xDEAD0));
     }
 
     #[test]

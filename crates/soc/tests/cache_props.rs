@@ -26,14 +26,8 @@ impl Backing for Store {
 }
 
 fn powered_cache(seed: u64) -> Cache {
-    let mut c = Cache::new(
-        "prop",
-        CacheKind::Data,
-        CacheGeometry::new(2048, 2, 64),
-        0.8,
-        1.0,
-        seed,
-    );
+    let mut c =
+        Cache::new("prop", CacheKind::Data, CacheGeometry::new(2048, 2, 64), 0.8, 1.0, seed);
     c.power_on().unwrap();
     c.invalidate_all().unwrap();
     c.set_enabled(true);

@@ -2,9 +2,11 @@
 
 use crate::bits::PackedBits;
 use crate::cell::{CellDistribution, CellParams};
+use crate::engine;
 use crate::error::SramError;
 use crate::physics::{LeakageModel, Temperature};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Static configuration of an SRAM array.
@@ -116,6 +118,23 @@ pub enum PowerState {
     },
 }
 
+/// Which implementation resolves a power cycle.
+///
+/// Both produce byte-identical images and identical reports for every
+/// `(seed, index, event)` — the batched path is a pure optimization (see
+/// [`crate::engine`]). The scalar path survives as the executable
+/// specification and as the fallback for queries the batched kernels
+/// cannot represent (non-finite voltages, degenerate distributions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolutionMode {
+    /// Per-bit reference path: derive every cell's parameters and decide
+    /// retention one bit at a time.
+    Scalar,
+    /// Word-batched path: resolve 64 cells per iteration against the
+    /// memoized die planes, sharded across threads for large arrays.
+    Batched,
+}
+
 /// Summary of what a power cycle did to the array's contents.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RetentionReport {
@@ -167,6 +186,10 @@ pub struct SramArray {
     ever_powered: bool,
     /// Report from the most recent power-on, if it followed an off period.
     last_report: Option<RetentionReport>,
+    /// Memoized die planes for the batched resolution engine. Derived
+    /// data only — rebuilt on demand after deserialization or cloning.
+    #[serde(skip)]
+    planes: Option<Arc<engine::DiePlanes>>,
 }
 
 impl SramArray {
@@ -182,6 +205,7 @@ impl SramArray {
             powerup_events: 0,
             ever_powered: false,
             last_report: None,
+            planes: None,
         }
     }
 
@@ -225,13 +249,41 @@ impl SramArray {
         CellParams::derive(self.seed, index, &self.config.distribution)
     }
 
+    /// Returns the die planes for this array, deriving (or fetching from
+    /// the global per-die cache) on first use. The seed, size, and
+    /// distribution are immutable after construction, so a memoized
+    /// plane set never goes stale.
+    fn planes(&mut self) -> Arc<engine::DiePlanes> {
+        if let Some(p) = &self.planes {
+            return p.clone();
+        }
+        let p = engine::planes_for(self.seed, self.config.bits, &self.config.distribution);
+        self.planes = Some(p.clone());
+        p
+    }
+
     /// Powers the array on, resolving each cell against the accumulated
     /// off-interval physics, and returns a report of what survived.
+    ///
+    /// Uses the word-batched resolution engine ([`ResolutionMode::Batched`]);
+    /// see [`SramArray::power_on_with`] to select the scalar reference path.
     ///
     /// # Errors
     ///
     /// Returns [`SramError::InvalidPowerTransition`] if already powered.
     pub fn power_on(&mut self) -> Result<RetentionReport, SramError> {
+        self.power_on_with(ResolutionMode::Batched)
+    }
+
+    /// [`SramArray::power_on`] with an explicit resolution path. Both
+    /// modes are bit-exact with each other for every `(seed, index,
+    /// event)`; the scalar mode exists as the reference implementation
+    /// and for benchmarking the batched engine against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidPowerTransition`] if already powered.
+    pub fn power_on_with(&mut self, mode: ResolutionMode) -> Result<RetentionReport, SramError> {
         let PowerState::Off { event, stress } = self.state else {
             return Err(SramError::InvalidPowerTransition { attempted: "power on while powered" });
         };
@@ -258,18 +310,32 @@ impl SramArray {
         // lognormal; a stress beyond any plausible tail quantile loses
         // every cell, so only the power-up state needs sampling.
         let max_plausible_budget = (self.config.distribution.decay_sigma * 9.0).exp();
-        let certainly_lost = first_power
-            || (matches!(event, OffEvent::Unpowered) && stress > max_plausible_budget);
+        let certainly_lost =
+            first_power || (matches!(event, OffEvent::Unpowered) && stress > max_plausible_budget);
+
+        let batch = mode == ResolutionMode::Batched
+            && engine::can_batch(&self.config.distribution, event, stress);
 
         if certainly_retained {
             retained = self.config.bits;
         } else if certainly_lost {
             lost = self.config.bits;
             let dist = self.config.distribution;
-            for i in 0..self.config.bits {
-                let v = CellParams::sample_powerup_only(self.seed, i, &dist, event_id);
-                self.data.set(i, v);
+            if batch {
+                let planes = self.planes();
+                engine::sample_all(&mut self.data, &planes, self.seed, &dist, event_id);
+            } else {
+                for i in 0..self.config.bits {
+                    let v = CellParams::sample_powerup_only(self.seed, i, &dist, event_id);
+                    self.data.set(i, v);
+                }
             }
+        } else if batch {
+            let dist = self.config.distribution;
+            let planes = self.planes();
+            retained =
+                engine::resolve(&mut self.data, &planes, self.seed, &dist, event, stress, event_id);
+            lost = self.config.bits - retained;
         } else {
             for i in 0..self.config.bits {
                 let params = self.cell_params(i);
@@ -381,8 +447,8 @@ impl SramArray {
     /// [`SramError::NotPowered`] if the array is off;
     /// [`SramError::OutOfBounds`] if the range is past the end.
     pub fn try_read_bytes(&self, offset: usize, len: usize) -> Result<Vec<u8>, SramError> {
-        self.check_access(offset * 8, len * 8)?;
-        Ok(self.data.bytes_at(offset * 8, len))
+        let first_bit = self.check_byte_access(offset, len)?;
+        Ok(self.data.bytes_at(first_bit, len))
     }
 
     /// Writes `bytes` starting at byte `offset`.
@@ -402,8 +468,8 @@ impl SramArray {
     /// [`SramError::NotPowered`] if the array is off;
     /// [`SramError::OutOfBounds`] if the range is past the end.
     pub fn try_write_bytes(&mut self, offset: usize, bytes: &[u8]) -> Result<(), SramError> {
-        self.check_access(offset * 8, bytes.len() * 8)?;
-        self.data.copy_bytes_in(offset * 8, bytes);
+        let first_bit = self.check_byte_access(offset, bytes.len())?;
+        self.data.copy_bytes_in(first_bit, bytes);
         Ok(())
     }
 
@@ -446,19 +512,27 @@ impl SramArray {
         if !self.is_powered() {
             return Err(SramError::NotPowered);
         }
-        let bytes = vec![byte; self.config.bits / 8];
-        self.data.copy_bytes_in(0, &bytes);
+        self.data.fill_byte(byte);
         Ok(())
+    }
+
+    /// Validates a byte-range access with overflow-safe arithmetic and
+    /// returns the first bit index of the range.
+    fn check_byte_access(&self, offset: usize, len: usize) -> Result<usize, SramError> {
+        let oob = || SramError::OutOfBounds { index: offset, len: self.config.bits };
+        let first_bit = offset.checked_mul(8).ok_or_else(oob)?;
+        let nbits = len.checked_mul(8).ok_or_else(oob)?;
+        self.check_access(first_bit, nbits)?;
+        Ok(first_bit)
     }
 
     fn check_access(&self, first_bit: usize, nbits: usize) -> Result<(), SramError> {
         if !self.is_powered() {
             return Err(SramError::NotPowered);
         }
-        let end = first_bit.checked_add(nbits).ok_or(SramError::OutOfBounds {
-            index: first_bit,
-            len: self.config.bits,
-        })?;
+        let end = first_bit
+            .checked_add(nbits)
+            .ok_or(SramError::OutOfBounds { index: first_bit, len: self.config.bits })?;
         if end > self.config.bits {
             return Err(SramError::OutOfBounds { index: end - 1, len: self.config.bits });
         }
@@ -639,6 +713,50 @@ mod tests {
         let second = s.snapshot().unwrap();
         let hd = first.fractional_hamming(&second);
         assert!((hd - 0.10).abs() < 0.02, "power-up noise {hd}");
+    }
+
+    #[test]
+    fn huge_offsets_error_instead_of_overflowing() {
+        let mut s = array(16);
+        s.power_on().unwrap();
+        let huge = usize::MAX / 4;
+        assert!(matches!(s.try_read_bytes(huge, 1), Err(SramError::OutOfBounds { .. })));
+        assert!(matches!(s.try_read_bytes(0, huge), Err(SramError::OutOfBounds { .. })));
+        assert!(matches!(s.try_write_bytes(huge, &[0]), Err(SramError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn scalar_and_batched_paths_are_bit_exact() {
+        let cases: [(OffEvent, Duration, f64); 4] = [
+            (OffEvent::unpowered(), Duration::from_millis(20), -110.0),
+            (OffEvent::held_with_droop(0.8, 0.30), Duration::from_millis(5), 25.0),
+            (OffEvent::held(0.31), Duration::from_millis(1), 25.0),
+            (OffEvent::unpowered(), Duration::from_millis(500), -40.0),
+        ];
+        for (event, dt, celsius) in cases {
+            let mut a = array(4096);
+            a.power_on_with(ResolutionMode::Scalar).unwrap();
+            let mut b = a.clone();
+            for s in [&mut a, &mut b] {
+                s.fill(0xC3).unwrap();
+                s.power_off(event).unwrap();
+                s.elapse(dt, Temperature::from_celsius(celsius));
+            }
+            let ra = a.power_on_with(ResolutionMode::Scalar).unwrap();
+            let rb = b.power_on_with(ResolutionMode::Batched).unwrap();
+            assert_eq!(ra, rb, "{event:?}");
+            assert_eq!(a.snapshot().unwrap(), b.snapshot().unwrap(), "{event:?}");
+        }
+    }
+
+    #[test]
+    fn first_powerup_scalar_and_batched_agree() {
+        let mut a = array(2048);
+        let mut b = array(2048);
+        let ra = a.power_on_with(ResolutionMode::Scalar).unwrap();
+        let rb = b.power_on_with(ResolutionMode::Batched).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.snapshot().unwrap(), b.snapshot().unwrap());
     }
 
     #[test]

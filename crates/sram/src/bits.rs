@@ -89,6 +89,71 @@ impl PackedBits {
         &self.words
     }
 
+    /// Mutable access to the underlying words.
+    ///
+    /// Word `w` holds bits `w * 64 ..= w * 64 + 63`. Callers must keep the
+    /// invariant that bits at or beyond [`PackedBits::len`] in the final
+    /// word stay zero; the batched resolution kernels rely on it (so do
+    /// [`PackedBits::count_ones`] and the Hamming helpers).
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Number of `u64` words backing the vector.
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// A mask of the bits of word `w` that are within `len`: all ones for
+    /// interior words, a partial mask for the final word of a vector whose
+    /// length is not a multiple of 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is past the last word.
+    pub fn valid_mask(&self, w: usize) -> u64 {
+        assert!(w < self.words.len(), "word index {w} out of bounds");
+        let tail = self.len % 64;
+        if w + 1 == self.words.len() && tail != 0 {
+            (1u64 << tail) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Merges `value` into word `w` under `mask`: bits set in `mask` take
+    /// the corresponding bit of `value`, other bits keep their old state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is past the last word or the merge would set bits
+    /// beyond `len`.
+    #[inline]
+    pub fn merge_word(&mut self, w: usize, value: u64, mask: u64) {
+        let valid = self.valid_mask(w);
+        assert!(mask & !valid == 0, "merge into word {w} writes past the end");
+        self.words[w] = (self.words[w] & !mask) | (value & mask);
+    }
+
+    /// Fills every whole byte of the vector with `byte`, without an
+    /// intermediate buffer. A trailing partial byte (when `len` is not a
+    /// multiple of 8) keeps its old bits, matching a byte-granular write
+    /// of `len / 8` bytes at offset 0.
+    pub fn fill_byte(&mut self, byte: u8) {
+        let pattern = (byte as u64).wrapping_mul(0x0101_0101_0101_0101);
+        let nbytes = self.len / 8;
+        let full_words = nbytes / 8;
+        for w in &mut self.words[..full_words] {
+            *w = pattern;
+        }
+        let tail_bytes = nbytes % 8;
+        if tail_bytes > 0 {
+            let mask = (1u64 << (tail_bytes * 8)) - 1;
+            let w = &mut self.words[full_words];
+            *w = (*w & !mask) | (pattern & mask);
+        }
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -111,7 +176,7 @@ impl PackedBits {
     /// Panics if `bit_offset` is not a multiple of 8 or the copy runs past
     /// the end of the vector.
     pub fn copy_bytes_in(&mut self, bit_offset: usize, bytes: &[u8]) {
-        assert!(bit_offset % 8 == 0, "bit offset must be byte aligned");
+        assert!(bit_offset.is_multiple_of(8), "bit offset must be byte aligned");
         assert!(
             bit_offset + bytes.len() * 8 <= self.len,
             "copy of {} bytes at bit {} exceeds {} bits",
@@ -134,7 +199,7 @@ impl PackedBits {
     /// Panics if `bit_offset` is not a multiple of 8 or the read runs past
     /// the end of the vector.
     pub fn bytes_at(&self, bit_offset: usize, len: usize) -> Vec<u8> {
-        assert!(bit_offset % 8 == 0, "bit offset must be byte aligned");
+        assert!(bit_offset.is_multiple_of(8), "bit offset must be byte aligned");
         assert!(
             bit_offset + len * 8 <= self.len,
             "read of {len} bytes at bit {bit_offset} exceeds {} bits",
@@ -165,11 +230,7 @@ impl PackedBits {
     /// Panics if the lengths differ.
     pub fn hamming(&self, other: &PackedBits) -> usize {
         assert_eq!(self.len, other.len, "hamming distance needs equal lengths");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Fractional Hamming distance to `other`, in `[0, 1]`.
@@ -204,7 +265,7 @@ impl PackedBits {
                 acc = 0;
             }
         }
-        if self.len % window != 0 {
+        if !self.len.is_multiple_of(window) {
             out.push(acc);
         }
         out

@@ -97,30 +97,50 @@ pub struct CellParams {
     pub decay_budget: f64,
 }
 
+/// Derives only the power-up class and bias of one cell — the exact
+/// computation [`CellParams::derive`] performs for that quantity, split
+/// out so the batched resolution engine can re-derive a single stream
+/// without paying for the other two.
+pub(crate) fn derive_powerup(
+    seed: u64,
+    index: usize,
+    dist: &CellDistribution,
+) -> (PowerUpKind, f64) {
+    let bias_word = cell_word(seed, index, Stream::PowerUpBias);
+    let u = unit_f64(bias_word);
+    let strong_fraction = 1.0 - dist.metastable_fraction;
+    if u < strong_fraction / 2.0 {
+        (PowerUpKind::Strong0, 0.0)
+    } else if u < strong_fraction {
+        (PowerUpKind::Strong1, 1.0)
+    } else {
+        // Re-mix for an independent uniform bias in (0, 1).
+        let bias = unit_f64(crate::rng::mix64(bias_word ^ 0x5bf0_3635));
+        (PowerUpKind::Metastable, bias)
+    }
+}
+
+/// Derives only the data-retention voltage of one cell (see
+/// [`derive_powerup`]).
+pub(crate) fn derive_drv(seed: u64, index: usize, dist: &CellDistribution) -> f64 {
+    let drv_word = cell_word(seed, index, Stream::Drv);
+    let z = std_normal(drv_word, crate::rng::mix64(drv_word ^ 0xa5a5));
+    (dist.drv_mean + dist.drv_sigma * z).clamp(dist.drv_min, dist.drv_max)
+}
+
+/// Derives only the decay budget of one cell (see [`derive_powerup`]).
+pub(crate) fn derive_decay_budget(seed: u64, index: usize, dist: &CellDistribution) -> f64 {
+    let decay_word = cell_word(seed, index, Stream::DecayBudget);
+    let zn = std_normal(decay_word, crate::rng::mix64(decay_word ^ 0x3c3c));
+    (dist.decay_sigma * zn).exp()
+}
+
 impl CellParams {
     /// Derives the parameters of cell `index` in the array with `seed`.
     pub fn derive(seed: u64, index: usize, dist: &CellDistribution) -> Self {
-        let bias_word = cell_word(seed, index, Stream::PowerUpBias);
-        let u = unit_f64(bias_word);
-        let strong_fraction = 1.0 - dist.metastable_fraction;
-        let (powerup, powerup_bias) = if u < strong_fraction / 2.0 {
-            (PowerUpKind::Strong0, 0.0)
-        } else if u < strong_fraction {
-            (PowerUpKind::Strong1, 1.0)
-        } else {
-            // Re-mix for an independent uniform bias in (0, 1).
-            let bias = unit_f64(crate::rng::mix64(bias_word ^ 0x5bf0_3635));
-            (PowerUpKind::Metastable, bias)
-        };
-
-        let drv_word = cell_word(seed, index, Stream::Drv);
-        let z = std_normal(drv_word, crate::rng::mix64(drv_word ^ 0xa5a5));
-        let drv = (dist.drv_mean + dist.drv_sigma * z).clamp(dist.drv_min, dist.drv_max);
-
-        let decay_word = cell_word(seed, index, Stream::DecayBudget);
-        let zn = std_normal(decay_word, crate::rng::mix64(decay_word ^ 0x3c3c));
-        let decay_budget = (dist.decay_sigma * zn).exp();
-
+        let (powerup, powerup_bias) = derive_powerup(seed, index, dist);
+        let drv = derive_drv(seed, index, dist);
+        let decay_budget = derive_decay_budget(seed, index, dist);
         CellParams { powerup, powerup_bias, drv, decay_budget }
     }
 
@@ -132,9 +152,7 @@ impl CellParams {
         match self.powerup {
             PowerUpKind::Strong0 => false,
             PowerUpKind::Strong1 => true,
-            PowerUpKind::Metastable => {
-                unit_f64(event_word(seed, index, event)) < self.powerup_bias
-            }
+            PowerUpKind::Metastable => unit_f64(event_word(seed, index, event)) < self.powerup_bias,
         }
     }
 
@@ -146,7 +164,12 @@ impl CellParams {
     /// Samples the power-up value of cell `index` without deriving the
     /// full parameter set — the hot path when an entire array is known to
     /// have lost its state (a plain reboot of a megabyte-class cache).
-    pub fn sample_powerup_only(seed: u64, index: usize, dist: &CellDistribution, event: u64) -> bool {
+    pub fn sample_powerup_only(
+        seed: u64,
+        index: usize,
+        dist: &CellDistribution,
+        event: u64,
+    ) -> bool {
         let bias_word = cell_word(seed, index, Stream::PowerUpBias);
         let u = unit_f64(bias_word);
         let strong_fraction = 1.0 - dist.metastable_fraction;
@@ -193,11 +216,8 @@ mod tests {
     #[test]
     fn powerup_ones_fraction_is_half() {
         let cells = params(100_000);
-        let ones = cells
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| c.sample_powerup(0xfeed, *i, 0))
-            .count();
+        let ones =
+            cells.iter().enumerate().filter(|(i, c)| c.sample_powerup(0xfeed, *i, 0)).count();
         let frac = ones as f64 / 100_000.0;
         assert!((frac - 0.5).abs() < 0.01, "ones fraction {frac}");
     }
@@ -208,9 +228,7 @@ mod tests {
         let differing = cells
             .iter()
             .enumerate()
-            .filter(|(i, c)| {
-                c.sample_powerup(0xfeed, *i, 0) != c.sample_powerup(0xfeed, *i, 1)
-            })
+            .filter(|(i, c)| c.sample_powerup(0xfeed, *i, 0) != c.sample_powerup(0xfeed, *i, 1))
             .count();
         let frac = differing as f64 / 100_000.0;
         let expected = CellDistribution::calibrated().expected_powerup_noise();

@@ -1,0 +1,628 @@
+//! Word-batched, plane-cached resolution engine for power cycles.
+//!
+//! [`SramArray::power_on`](crate::SramArray::power_on) has to decide, for
+//! every cell, whether the off interval preserved its state, and sample a
+//! power-up value for every cell that lost it. The scalar reference path
+//! re-derives three RNG streams per cell per power cycle; every sweep in
+//! the reproduction (temperature grids, countermeasure matrices, probe
+//! ablations) runs hundreds of power cycles over the same die, so that
+//! inner loop dominates end-to-end wall time.
+//!
+//! This module replaces it with three layers, each **bit-exact** with the
+//! scalar path:
+//!
+//! 1. **Die planes** ([`DiePlanes`]) — per `(seed, distribution, size)`,
+//!    a one-time derivation pass packs the power-up classes into
+//!    strong-1/metastable bit masks and quantizes the per-cell DRV,
+//!    decay budget, and metastable bias into dense bucket planes. Planes
+//!    are memoized on the array and in a bounded global cache, so
+//!    repeated cycles of the same die (the common case) derive nothing.
+//! 2. **Word kernels** — resolution walks the array 64 cells at a time,
+//!    comparing bucket planes against the bucketized query (hold voltage,
+//!    accumulated stress) and writing the merged retain/power-up word
+//!    straight into [`PackedBits`] words. Only cells whose bucket *equals*
+//!    the query bucket fall back to the exact scalar derivation, which
+//!    keeps the result identical to the reference path: the bucket maps
+//!    are weakly monotone, so an unequal bucket already decides the
+//!    comparison, and the rare equal bucket is re-decided exactly.
+//! 3. **Sharding** — arrays at or above [`PAR_MIN_BITS`] split their word
+//!    range across scoped threads. Every word is a pure function of
+//!    `(seed, index, event)`, so the sharding is deterministic and the
+//!    thread count ([`crate::par::thread_count`]) never changes results.
+
+use crate::array::OffEvent;
+use crate::bits::PackedBits;
+use crate::cell::{derive_decay_budget, derive_drv, derive_powerup, CellDistribution, PowerUpKind};
+use crate::par;
+use crate::rng::{event_word, unit_f64};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Arrays with at least this many bits shard word-range resolution and
+/// plane building across threads; smaller arrays stay single-threaded
+/// (the per-thread startup cost would exceed the work).
+pub const PAR_MIN_BITS: usize = 1 << 20;
+
+/// Total cells the global plane cache may hold before evicting the
+/// oldest die (≈9 bytes of plane data per cell).
+const MAX_CACHED_CELLS: usize = 48 << 20;
+
+// ---------------------------------------------------------------------
+// Quantizers
+// ---------------------------------------------------------------------
+//
+// Each quantizer is a weakly monotone map from the exact f64 quantity to
+// a small integer bucket: `x <= y` implies `bucket(x) <= bucket(y)`.
+// Strict bucket inequality therefore decides the underlying comparison;
+// bucket equality is re-decided by deriving the exact value. This is
+// what makes the cached planes bit-exact with the scalar path.
+
+/// Buckets a probability in `[0, 1]` (power-up bias and its uniform
+/// sample) onto a 2^16 grid.
+#[inline]
+fn prob_bucket(p: f64) -> u16 {
+    ((p * 65536.0) as u64).min(65535) as u16
+}
+
+/// Buckets a positive decay budget (or stress) by the high 32 bits of
+/// its IEEE-754 representation, which order-embeds the positive floats.
+#[inline]
+fn decay_bucket(x: f64) -> u32 {
+    (x.to_bits() >> 32) as u32
+}
+
+/// Linear bucket grid over the clamped DRV range.
+#[derive(Clone, Copy)]
+struct DrvGrid {
+    min: f64,
+    scale: f64,
+}
+
+impl DrvGrid {
+    fn new(dist: &CellDistribution) -> Self {
+        DrvGrid { min: dist.drv_min, scale: 65535.0 / (dist.drv_max - dist.drv_min) }
+    }
+
+    #[inline]
+    fn bucket(self, v: f64) -> u16 {
+        let t = (v - self.min) * self.scale;
+        if t <= 0.0 {
+            0
+        } else if t >= 65535.0 {
+            65535
+        } else {
+            t as u16
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Die planes
+// ---------------------------------------------------------------------
+
+/// Precomputed, quantized per-cell parameter planes for one die.
+///
+/// Mask vectors are packed like [`PackedBits`] words (bit `i % 64` of
+/// word `i / 64`); bucket planes hold one entry per cell, padded to a
+/// whole word so kernels can index without bounds checks.
+pub(crate) struct DiePlanes {
+    bits: usize,
+    /// Cells that power up as a reliable 1.
+    strong1: Vec<u64>,
+    /// Cells whose power-up value is metastable (re-sampled per event).
+    metastable: Vec<u64>,
+    /// Quantized power-up bias of each cell.
+    bias_q: Vec<u16>,
+    /// Quantized data-retention voltage of each cell.
+    drv_q: Vec<u16>,
+    /// Quantized decay budget of each cell.
+    decay_q: Vec<u32>,
+}
+
+impl std::fmt::Debug for DiePlanes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiePlanes").field("bits", &self.bits).finish()
+    }
+}
+
+impl DiePlanes {
+    /// Number of cells the planes describe.
+    pub(crate) fn bits(&self) -> usize {
+        self.bits
+    }
+
+    fn cells_capacity(&self) -> usize {
+        self.bias_q.len()
+    }
+
+    /// Derives the planes for one die, sharding large arrays across
+    /// threads.
+    fn build(seed: u64, bits: usize, dist: &CellDistribution) -> Self {
+        let words = bits.div_ceil(64);
+        let cells = words * 64;
+        let mut planes = DiePlanes {
+            bits,
+            strong1: vec![0; words],
+            metastable: vec![0; words],
+            bias_q: vec![0; cells],
+            drv_q: vec![0; cells],
+            decay_q: vec![0; cells],
+        };
+        let grid = DrvGrid::new(dist);
+        let threads = par::thread_count();
+        if bits < PAR_MIN_BITS || threads <= 1 || words <= 1 {
+            build_range(seed, bits, dist, grid, 0, planes.shard_mut(0, words));
+            return planes;
+        }
+        let chunk = words.div_ceil(threads);
+        let DiePlanes { strong1, metastable, bias_q, drv_q, decay_q, .. } = &mut planes;
+        crossbeam::thread::scope(|s| {
+            let mut rest = Shard {
+                strong1: strong1.as_mut_slice(),
+                metastable: metastable.as_mut_slice(),
+                bias_q: bias_q.as_mut_slice(),
+                drv_q: drv_q.as_mut_slice(),
+                decay_q: decay_q.as_mut_slice(),
+            };
+            let mut base = 0usize;
+            while base < words {
+                let take = chunk.min(words - base);
+                let (head, tail) = rest.split_at(take);
+                rest = tail;
+                let word_base = base;
+                s.spawn(move |_| build_range(seed, bits, dist, grid, word_base, head));
+                base += take;
+            }
+        })
+        .expect("plane build worker panicked");
+        planes
+    }
+
+    /// A mutable view of `len` words of every plane starting at `word`.
+    fn shard_mut(&mut self, word: usize, len: usize) -> Shard<'_> {
+        Shard {
+            strong1: &mut self.strong1[word..word + len],
+            metastable: &mut self.metastable[word..word + len],
+            bias_q: &mut self.bias_q[word * 64..(word + len) * 64],
+            drv_q: &mut self.drv_q[word * 64..(word + len) * 64],
+            decay_q: &mut self.decay_q[word * 64..(word + len) * 64],
+        }
+    }
+}
+
+/// Mutable word-aligned slices of every plane, for parallel building.
+struct Shard<'a> {
+    strong1: &'a mut [u64],
+    metastable: &'a mut [u64],
+    bias_q: &'a mut [u16],
+    drv_q: &'a mut [u16],
+    decay_q: &'a mut [u32],
+}
+
+impl<'a> Shard<'a> {
+    fn split_at(self, words: usize) -> (Shard<'a>, Shard<'a>) {
+        let (s1a, s1b) = self.strong1.split_at_mut(words);
+        let (ma, mb) = self.metastable.split_at_mut(words);
+        let (ba, bb) = self.bias_q.split_at_mut(words * 64);
+        let (da, db) = self.drv_q.split_at_mut(words * 64);
+        let (ka, kb) = self.decay_q.split_at_mut(words * 64);
+        (
+            Shard { strong1: s1a, metastable: ma, bias_q: ba, drv_q: da, decay_q: ka },
+            Shard { strong1: s1b, metastable: mb, bias_q: bb, drv_q: db, decay_q: kb },
+        )
+    }
+}
+
+/// Fills one word range of the planes by deriving every cell once.
+fn build_range(
+    seed: u64,
+    bits: usize,
+    dist: &CellDistribution,
+    grid: DrvGrid,
+    word_base: usize,
+    shard: Shard<'_>,
+) {
+    for w in 0..shard.strong1.len() {
+        let mut strong1 = 0u64;
+        let mut metastable = 0u64;
+        for b in 0..64 {
+            let cell = (word_base + w) * 64 + b;
+            if cell >= bits {
+                break;
+            }
+            let local = w * 64 + b;
+            let (kind, bias) = derive_powerup(seed, cell, dist);
+            match kind {
+                PowerUpKind::Strong0 => {}
+                PowerUpKind::Strong1 => strong1 |= 1 << b,
+                PowerUpKind::Metastable => metastable |= 1 << b,
+            }
+            shard.bias_q[local] = prob_bucket(bias);
+            shard.drv_q[local] = grid.bucket(derive_drv(seed, cell, dist));
+            shard.decay_q[local] = decay_bucket(derive_decay_budget(seed, cell, dist));
+        }
+        shard.strong1[w] = strong1;
+        shard.metastable[w] = metastable;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global plane cache
+// ---------------------------------------------------------------------
+
+type PlaneKey = (u64, usize, [u64; 6]);
+
+fn plane_key(seed: u64, bits: usize, dist: &CellDistribution) -> PlaneKey {
+    (
+        seed,
+        bits,
+        [
+            dist.metastable_fraction.to_bits(),
+            dist.drv_mean.to_bits(),
+            dist.drv_sigma.to_bits(),
+            dist.drv_min.to_bits(),
+            dist.drv_max.to_bits(),
+            dist.decay_sigma.to_bits(),
+        ],
+    )
+}
+
+static PLANE_CACHE: Mutex<VecDeque<(PlaneKey, Arc<DiePlanes>)>> = Mutex::new(VecDeque::new());
+
+/// Returns the memoized planes for one die, building them on first use.
+///
+/// The cache is keyed by `(seed, size, distribution)` and bounded by
+/// total cells; the oldest die is evicted first. Building happens
+/// outside the lock so concurrent arrays (e.g. every cache of a SoC
+/// powering on in parallel) never serialize on each other's builds.
+pub(crate) fn planes_for(seed: u64, bits: usize, dist: &CellDistribution) -> Arc<DiePlanes> {
+    let key = plane_key(seed, bits, dist);
+    if let Some(found) = PLANE_CACHE
+        .lock()
+        .expect("plane cache poisoned")
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, p)| p.clone())
+    {
+        return found;
+    }
+    let built = Arc::new(DiePlanes::build(seed, bits, dist));
+    let mut cache = PLANE_CACHE.lock().expect("plane cache poisoned");
+    if let Some(found) = cache.iter().find(|(k, _)| *k == key).map(|(_, p)| p.clone()) {
+        return found;
+    }
+    cache.push_back((key, built.clone()));
+    let mut total: usize = cache.iter().map(|(_, p)| p.cells_capacity()).sum();
+    while total > MAX_CACHED_CELLS && cache.len() > 1 {
+        if let Some((_, evicted)) = cache.pop_front() {
+            total -= evicted.cells_capacity();
+        }
+    }
+    built
+}
+
+/// Drops every memoized plane (used by benchmarks to measure the cold,
+/// plane-building first cycle separately from warm cycles).
+pub fn clear_plane_cache() {
+    PLANE_CACHE.lock().expect("plane cache poisoned").clear();
+}
+
+// ---------------------------------------------------------------------
+// Queries and kernels
+// ---------------------------------------------------------------------
+
+/// Whether the batched kernels can represent this query exactly. The
+/// kernels assume a sane bucket grid and finite, non-NaN comparisons;
+/// anything else (a degenerate custom distribution, a NaN hold voltage)
+/// routes to the scalar path, which defines the semantics.
+pub(crate) fn can_batch(dist: &CellDistribution, event: OffEvent, stress: f64) -> bool {
+    let grid_ok = dist.drv_min.is_finite()
+        && dist.drv_max.is_finite()
+        && dist.drv_max > dist.drv_min
+        && dist.drv_mean.is_finite()
+        && dist.drv_sigma.is_finite()
+        && dist.decay_sigma.is_finite()
+        && dist.metastable_fraction.is_finite();
+    let event_ok = match event {
+        OffEvent::Unpowered => true,
+        OffEvent::Held { voltage, transient_min_voltage } => {
+            voltage.is_finite() && transient_min_voltage.is_finite()
+        }
+    };
+    grid_ok && event_ok && !stress.is_nan()
+}
+
+/// One power-cycle resolution query, pre-bucketized.
+struct Query<'a> {
+    seed: u64,
+    dist: &'a CellDistribution,
+    event_id: u64,
+    /// `stress <= 0`: every cell is within its decay budget.
+    all_decay_ok: bool,
+    stress: f64,
+    stress_q: u32,
+    /// `None` for an unpowered rail (no DRV check); otherwise the held
+    /// threshold `min(steady, transient)` and its bucket.
+    hold: Option<HoldQuery>,
+}
+
+#[derive(Clone, Copy)]
+struct HoldQuery {
+    vmin: f64,
+    vmin_q: u16,
+    /// `vmin >= drv_max`: every cell retains at this hold level.
+    all_pass: bool,
+    /// `vmin < drv_min`: no cell retains at this hold level.
+    none_pass: bool,
+}
+
+impl<'a> Query<'a> {
+    fn new(
+        seed: u64,
+        dist: &'a CellDistribution,
+        event: OffEvent,
+        stress: f64,
+        event_id: u64,
+    ) -> Self {
+        let hold = match event {
+            OffEvent::Unpowered => None,
+            OffEvent::Held { voltage, transient_min_voltage } => {
+                let vmin = voltage.min(transient_min_voltage);
+                Some(HoldQuery {
+                    vmin,
+                    vmin_q: DrvGrid::new(dist).bucket(vmin),
+                    all_pass: vmin >= dist.drv_max,
+                    none_pass: vmin < dist.drv_min,
+                })
+            }
+        };
+        Query {
+            seed,
+            dist,
+            event_id,
+            all_decay_ok: stress <= 0.0,
+            stress,
+            stress_q: decay_bucket(stress),
+            hold,
+        }
+    }
+}
+
+/// Resolves one word: decides retention for its 64 cells, samples
+/// power-up values for the lost ones, and returns the merged word plus
+/// the retained count.
+#[inline]
+fn resolve_word(
+    old: u64,
+    valid: u64,
+    word: usize,
+    planes: &DiePlanes,
+    q: &Query<'_>,
+) -> (u64, u32) {
+    let base = word * 64;
+
+    // Decay check: stress <= budget.
+    let decay_ok = if q.all_decay_ok {
+        valid
+    } else {
+        let dq = &planes.decay_q[base..base + 64];
+        let mut gt = 0u64;
+        let mut eq = 0u64;
+        for (b, &c) in dq.iter().enumerate() {
+            gt |= ((c > q.stress_q) as u64) << b;
+            eq |= ((c == q.stress_q) as u64) << b;
+        }
+        let mut ok = gt;
+        let mut boundary = eq & valid;
+        while boundary != 0 {
+            let b = boundary.trailing_zeros() as usize;
+            let budget = derive_decay_budget(q.seed, base + b, q.dist);
+            if q.stress <= budget {
+                ok |= 1 << b;
+            } else {
+                ok &= !(1 << b);
+            }
+            boundary &= boundary - 1;
+        }
+        ok & valid
+    };
+
+    // DRV check: min(hold voltage, transient minimum) >= drv.
+    let keep = match q.hold {
+        None => decay_ok,
+        Some(h) if h.all_pass => decay_ok,
+        Some(h) if h.none_pass => 0,
+        Some(h) => {
+            let vq = &planes.drv_q[base..base + 64];
+            let mut lt = 0u64;
+            let mut eq = 0u64;
+            for (b, &c) in vq.iter().enumerate() {
+                lt |= ((c < h.vmin_q) as u64) << b;
+                eq |= ((c == h.vmin_q) as u64) << b;
+            }
+            let mut drv_ok = lt;
+            let mut boundary = eq & decay_ok;
+            while boundary != 0 {
+                let b = boundary.trailing_zeros() as usize;
+                if h.vmin >= derive_drv(q.seed, base + b, q.dist) {
+                    drv_ok |= 1 << b;
+                }
+                boundary &= boundary - 1;
+            }
+            drv_ok & decay_ok
+        }
+    };
+
+    let lost = valid & !keep;
+    if lost == 0 {
+        return (old, keep.count_ones());
+    }
+    let value = powerup_word(lost, word, planes, q.seed, q.dist, q.event_id);
+    ((old & !lost) | value, keep.count_ones())
+}
+
+/// Samples power-up values for the cells of `mask` within `word`:
+/// strong-1 cells read 1, strong-0 cells read 0, metastable cells are
+/// re-sampled per power-on event.
+#[inline]
+fn powerup_word(
+    mask: u64,
+    word: usize,
+    planes: &DiePlanes,
+    seed: u64,
+    dist: &CellDistribution,
+    event_id: u64,
+) -> u64 {
+    let mut value = planes.strong1[word] & mask;
+    let mut meta = planes.metastable[word] & mask;
+    while meta != 0 {
+        let b = meta.trailing_zeros() as usize;
+        let cell = word * 64 + b;
+        let u = unit_f64(event_word(seed, cell, event_id));
+        let uq = prob_bucket(u);
+        let bq = planes.bias_q[cell];
+        let one = if uq != bq { uq < bq } else { u < derive_powerup(seed, cell, dist).1 };
+        if one {
+            value |= 1 << b;
+        }
+        meta &= meta - 1;
+    }
+    value
+}
+
+/// Resolves a full power cycle against the planes, writing power-up
+/// samples for lost cells directly into `data`'s words. Returns the
+/// number of retained cells.
+pub(crate) fn resolve(
+    data: &mut PackedBits,
+    planes: &DiePlanes,
+    seed: u64,
+    dist: &CellDistribution,
+    event: OffEvent,
+    stress: f64,
+    event_id: u64,
+) -> usize {
+    let q = Query::new(seed, dist, event, stress, event_id);
+    run_words(data, planes.bits(), |words, word_base| {
+        let mut retained = 0usize;
+        for (k, w) in words.iter_mut().enumerate() {
+            let word = word_base + k;
+            let valid = valid_mask(planes.bits(), word);
+            let (new, kept) = resolve_word(*w, valid, word, planes, &q);
+            *w = new;
+            retained += kept as usize;
+        }
+        retained
+    })
+}
+
+/// Samples a fresh power-up state for every cell (the first power-on and
+/// the certainly-lost fast path). Bit-exact with per-cell
+/// [`CellParams::sample_powerup_only`](crate::CellParams::sample_powerup_only).
+pub(crate) fn sample_all(
+    data: &mut PackedBits,
+    planes: &DiePlanes,
+    seed: u64,
+    dist: &CellDistribution,
+    event_id: u64,
+) {
+    run_words(data, planes.bits(), |words, word_base| {
+        for (k, w) in words.iter_mut().enumerate() {
+            let word = word_base + k;
+            let valid = valid_mask(planes.bits(), word);
+            *w = powerup_word(valid, word, planes, seed, dist, event_id);
+        }
+        0usize
+    });
+}
+
+#[inline]
+fn valid_mask(bits: usize, word: usize) -> u64 {
+    let tail = bits % 64;
+    if tail != 0 && word == bits / 64 {
+        (1u64 << tail) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// Runs `kernel` over the array's words, sharding across scoped threads
+/// when the array is large enough, and sums the per-shard results.
+fn run_words<F>(data: &mut PackedBits, bits: usize, kernel: F) -> usize
+where
+    F: Fn(&mut [u64], usize) -> usize + Sync,
+{
+    let words = data.words_mut();
+    let threads = par::thread_count();
+    if bits < PAR_MIN_BITS || threads <= 1 || words.len() <= 1 {
+        return kernel(words, 0);
+    }
+    let chunk = words.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let kernel = &kernel;
+        words
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, ws)| s.spawn(move |_| kernel(ws, i * chunk)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("resolution worker panicked"))
+            .sum()
+    })
+    .expect("resolution scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prob_bucket_orders_consistently() {
+        for i in 0..10_000u64 {
+            let u = crate::rng::unit_f64(crate::rng::mix64(i));
+            let v = crate::rng::unit_f64(crate::rng::mix64(i ^ 0x1234));
+            let (bu, bv) = (prob_bucket(u), prob_bucket(v));
+            if bu < bv {
+                assert!(u < v);
+            } else if bu > bv {
+                assert!(u > v);
+            }
+        }
+        assert_eq!(prob_bucket(1.0), 65535);
+        assert_eq!(prob_bucket(0.0), 0);
+    }
+
+    #[test]
+    fn decay_bucket_orders_positive_floats() {
+        let xs = [1e-300, 0.003, 0.5, 1.0, 1.0000001, 17.0, 1e12, f64::INFINITY];
+        for w in xs.windows(2) {
+            assert!(decay_bucket(w[0]) <= decay_bucket(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn drv_grid_is_weakly_monotone() {
+        let dist = CellDistribution::calibrated();
+        let g = DrvGrid::new(&dist);
+        let mut prev = g.bucket(0.0);
+        let mut v = 0.0;
+        while v < 0.7 {
+            let b = g.bucket(v);
+            assert!(b >= prev);
+            prev = b;
+            v += 1.37e-4;
+        }
+    }
+
+    #[test]
+    fn plane_cache_memoizes_and_evicts() {
+        clear_plane_cache();
+        let dist = CellDistribution::calibrated();
+        let a = planes_for(1, 4096, &dist);
+        let b = planes_for(1, 4096, &dist);
+        assert!(Arc::ptr_eq(&a, &b), "same die must be served from cache");
+        let c = planes_for(2, 4096, &dist);
+        assert!(!Arc::ptr_eq(&a, &c));
+        clear_plane_cache();
+    }
+}

@@ -54,14 +54,17 @@
 pub mod array;
 pub mod bits;
 pub mod cell;
+pub mod engine;
 pub mod error;
 pub mod imprint;
+pub mod par;
 pub mod physics;
 pub mod puf;
 pub mod rng;
 
-pub use array::{ArrayConfig, OffEvent, PowerState, RetentionReport, SramArray};
+pub use array::{ArrayConfig, OffEvent, PowerState, ResolutionMode, RetentionReport, SramArray};
 pub use bits::PackedBits;
 pub use cell::{CellParams, PowerUpKind};
+pub use engine::clear_plane_cache;
 pub use error::SramError;
 pub use physics::{LeakageModel, Temperature};

@@ -1,0 +1,85 @@
+//! Minimal deterministic thread-pool helpers.
+//!
+//! The resolution engine and the SoC layer both fan independent work out
+//! across threads. Everything here is built on `crossbeam` scoped
+//! threads (an existing workspace dependency); no work-stealing runtime
+//! is involved, so scheduling never influences results — callers only
+//! hand over work whose output is a pure function of its inputs.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads used for sharded resolution and fan-out.
+///
+/// Defaults to the machine's available parallelism; the
+/// `VOLTBOOT_THREADS` environment variable overrides it (`1` disables
+/// threading entirely). The value is read once per process.
+pub fn thread_count() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        if let Ok(v) = std::env::var("VOLTBOOT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Runs every closure to completion and returns their results in input
+/// order.
+///
+/// With one job, or when [`thread_count`] is 1, the jobs run inline on
+/// the caller's thread. Otherwise each job gets its own scoped thread;
+/// jobs are expected to be coarse (an SRAM array, a whole experiment
+/// cell), so one thread per job is cheaper than queueing machinery. A
+/// panicking job propagates its panic to the caller.
+pub fn join_all<'env, T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>) -> Vec<T> {
+    if jobs.len() <= 1 || thread_count() <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    crossbeam::thread::scope(|s| {
+        jobs.into_iter()
+            .map(|job| s.spawn(|_| job()))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("parallel job panicked"))
+            .collect()
+    })
+    .expect("parallel scope failed")
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A: Send, B: Send>(
+    a: impl FnOnce() -> A + Send,
+    b: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    if thread_count() <= 1 {
+        return (a(), b());
+    }
+    crossbeam::thread::scope(|s| {
+        let hb = s.spawn(|_| b());
+        let ra = a();
+        (ra, hb.join().expect("parallel job panicked"))
+    })
+    .expect("parallel scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_all_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..17usize).map(|i| Box::new(move || i * i) as Box<_>).collect();
+        let got = join_all(jobs);
+        assert_eq!(got, (0..17usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -103,9 +103,7 @@ mod tests {
     #[test]
     fn std_normal_moments() {
         let n = 100_000u64;
-        let samples: Vec<f64> = (0..n)
-            .map(|i| std_normal(mix64(i), mix64(i ^ 0xabcdef)))
-            .collect();
+        let samples: Vec<f64> = (0..n).map(|i| std_normal(mix64(i), mix64(i ^ 0xabcdef))).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");

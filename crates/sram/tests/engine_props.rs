@@ -1,0 +1,187 @@
+//! Bit-exactness properties of the batched resolution engine.
+//!
+//! The engine's contract is that [`ResolutionMode::Batched`] — word
+//! kernels, quantized die planes, the memoized plane cache, and the
+//! sharded parallel path — produces byte-identical images and identical
+//! retention reports to the scalar reference for every
+//! `(seed, index, event)`. These tests drive both paths through random
+//! seeds, hold voltages, droops, and stress levels and compare
+//! everything observable.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use voltboot_sram::cell::{CellDistribution, CellParams};
+use voltboot_sram::{ArrayConfig, OffEvent, ResolutionMode, SramArray, Temperature};
+
+/// Random off-rail treatments, spanning unpowered, clean holds, droopy
+/// holds, and holds above/below the whole DRV range.
+fn off_events() -> impl Strategy<Value = OffEvent> {
+    prop_oneof![
+        Just(OffEvent::unpowered()),
+        (0.0f64..1.0).prop_map(OffEvent::held),
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(v, frac)| OffEvent::held_with_droop(v, v * frac)),
+    ]
+}
+
+/// Runs `cycles` identical power cycles on two clones of one die — one
+/// resolved scalar, one batched — and asserts every image and report
+/// matches. Covers warm-plane reuse because every cycle after the first
+/// hits the memoized planes.
+fn assert_paths_agree(
+    seed: u64,
+    bits: usize,
+    fill: u8,
+    event: OffEvent,
+    dt: Duration,
+    celsius: f64,
+    cycles: usize,
+) {
+    let config = ArrayConfig::with_bits("prop", bits);
+    let mut scalar = SramArray::new(config.clone(), seed);
+    let mut batched = SramArray::new(config, seed);
+    let r0s = scalar.power_on_with(ResolutionMode::Scalar).unwrap();
+    let r0b = batched.power_on_with(ResolutionMode::Batched).unwrap();
+    assert_eq!(r0s, r0b, "first power-up reports differ");
+    assert_eq!(
+        scalar.snapshot().unwrap(),
+        batched.snapshot().unwrap(),
+        "first power-up images differ"
+    );
+    for cycle in 0..cycles {
+        for s in [&mut scalar, &mut batched] {
+            s.fill(fill).unwrap();
+            s.power_off(event).unwrap();
+            s.elapse(dt, Temperature::from_celsius(celsius));
+        }
+        let rs = scalar.power_on_with(ResolutionMode::Scalar).unwrap();
+        let rb = batched.power_on_with(ResolutionMode::Batched).unwrap();
+        assert_eq!(rs, rb, "cycle {cycle} reports differ ({event:?}, {dt:?}, {celsius} C)");
+        assert_eq!(
+            scalar.snapshot().unwrap(),
+            batched.snapshot().unwrap(),
+            "cycle {cycle} images differ ({event:?}, {dt:?}, {celsius} C)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central equivalence: random dies, events, and stress levels,
+    /// two cycles each (cold planes, then warm planes).
+    #[test]
+    fn batched_matches_scalar(
+        seed in any::<u64>(),
+        bits in 1usize..4096,
+        fill in any::<u8>(),
+        event in off_events(),
+        dt_ms in 0u64..400,
+        celsius in -120.0f64..30.0,
+    ) {
+        assert_paths_agree(seed, bits, fill, event, Duration::from_millis(dt_ms), celsius, 2);
+    }
+
+    /// The certainly-retained fast path: a clean hold at or above the
+    /// DRV ceiling with zero accumulated stress.
+    #[test]
+    fn certainly_retained_fast_path_agrees(
+        seed in any::<u64>(),
+        bits in 1usize..2048,
+        volts in 0.55f64..2.0,
+    ) {
+        assert_paths_agree(seed, bits, 0x5A, OffEvent::held(volts), Duration::ZERO, 25.0, 2);
+    }
+
+    /// The certainly-lost fast path: unpowered long past any plausible
+    /// decay budget, where only power-up sampling runs.
+    #[test]
+    fn certainly_lost_fast_path_agrees(
+        seed in any::<u64>(),
+        bits in 1usize..2048,
+    ) {
+        assert_paths_agree(
+            seed,
+            bits,
+            0xFF,
+            OffEvent::unpowered(),
+            Duration::from_secs(3600),
+            25.0,
+            2,
+        );
+    }
+
+    /// `sample_powerup_only` (the all-lost shortcut) equals deriving the
+    /// full parameter set and sampling — for every cell and event.
+    #[test]
+    fn sample_powerup_only_matches_full_derive(
+        seed in any::<u64>(),
+        index in 0usize..100_000,
+        event in 0u64..64,
+    ) {
+        let dist = CellDistribution::calibrated();
+        let full = CellParams::derive(seed, index, &dist);
+        prop_assert_eq!(
+            full.sample_powerup(seed, index, event),
+            CellParams::sample_powerup_only(seed, index, &dist, event)
+        );
+    }
+}
+
+/// The sharded parallel path: an array at the threading threshold
+/// (with a ragged tail word) must still match the scalar reference
+/// exactly, regardless of how the word range is split across threads.
+#[test]
+fn parallel_sharded_resolution_is_bit_exact() {
+    let bits = voltboot_sram::engine::PAR_MIN_BITS + 129;
+    assert_paths_agree(
+        0xC0FFEE,
+        bits,
+        0xA5,
+        OffEvent::unpowered(),
+        Duration::from_millis(20),
+        -110.0,
+        1,
+    );
+}
+
+/// Droop through the middle of the DRV distribution — the hardest case
+/// for the quantized DRV plane (maximum bucket-boundary traffic).
+#[test]
+fn mid_distribution_droop_is_bit_exact() {
+    for vmin in [0.28, 0.2999999, 0.30, 0.3000001, 0.32] {
+        assert_paths_agree(
+            0xD1E,
+            8192,
+            0xC3,
+            OffEvent::held_with_droop(0.8, vmin),
+            Duration::from_millis(1),
+            25.0,
+            2,
+        );
+    }
+}
+
+/// Warm planes served from the global cache (a second array of the same
+/// die) resolve identically to a cold scalar run.
+#[test]
+fn plane_cache_reuse_across_arrays_is_bit_exact() {
+    let config = ArrayConfig::with_bytes("shared", 2048);
+    let mut first = SramArray::new(config.clone(), 0xD1E2);
+    first.power_on_with(ResolutionMode::Batched).unwrap();
+
+    // `second` models the same physical die; its batched resolution hits
+    // the planes `first` already built.
+    let mut second = SramArray::new(config.clone(), 0xD1E2);
+    let mut reference = SramArray::new(config, 0xD1E2);
+    second.power_on_with(ResolutionMode::Batched).unwrap();
+    reference.power_on_with(ResolutionMode::Scalar).unwrap();
+    for s in [&mut second, &mut reference] {
+        s.fill(0x3C).unwrap();
+        s.power_off(OffEvent::unpowered()).unwrap();
+        s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+    }
+    let rb = second.power_on_with(ResolutionMode::Batched).unwrap();
+    let rs = reference.power_on_with(ResolutionMode::Scalar).unwrap();
+    assert_eq!(rb, rs);
+    assert_eq!(second.snapshot().unwrap(), reference.snapshot().unwrap());
+}

@@ -30,7 +30,11 @@ fn main() {
     for years in [0u64, 1, 2, 5, 10, 20] {
         let mut aged = imprint.clone();
         aged.age(Duration::from_secs(years * 365 * 24 * 3600));
-        println!("  {:<12} {:>9.1}%", format!("{years} years"), aged.expected_recovery(&sram) * 100.0);
+        println!(
+            "  {:<12} {:>9.1}%",
+            format!("{years} years"),
+            aged.expected_recovery(&sram) * 100.0
+        );
     }
 
     imprint.age(Duration::from_secs(10 * 365 * 24 * 3600));

@@ -11,9 +11,7 @@ use voltboot_armlite::program::builders;
 use voltboot_soc::devices;
 
 fn recovered_fraction(soc: &mut voltboot_soc::Soc) -> f64 {
-    match VoltBootAttack::new("TP15")
-        .extraction(Extraction::Caches { cores: vec![0] })
-        .execute(soc)
+    match VoltBootAttack::new("TP15").extraction(Extraction::Caches { cores: vec![0] }).execute(soc)
     {
         Ok(outcome) => {
             let mut bytes = 0usize;
@@ -56,8 +54,14 @@ fn main() {
     // Orderly shutdown: the purge handler runs and wipes everything.
     let mut soc = staged_device(0xFEE, Countermeasure::PowerDownPurge);
     run_power_down_purge(&mut soc).expect("orderly shutdown path");
-    println!("  orderly shutdown (handler runs): {:.1}% recovered", recovered_fraction(&mut soc) * 100.0);
+    println!(
+        "  orderly shutdown (handler runs): {:.1}% recovered",
+        recovered_fraction(&mut soc) * 100.0
+    );
     // Abrupt disconnect: the handler never executes.
     let mut soc = staged_device(0xFEF, Countermeasure::PowerDownPurge);
-    println!("  abrupt disconnect (handler skipped): {:.1}% recovered", (recovered_fraction(&mut soc) * 100.0).min(100.0));
+    println!(
+        "  abrupt disconnect (handler skipped): {:.1}% recovered",
+        (recovered_fraction(&mut soc) * 100.0).min(100.0)
+    );
 }

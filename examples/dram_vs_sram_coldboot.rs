@@ -78,7 +78,9 @@ fn main() {
         .into_iter()
         .find(|(_, ks)| verify(&Aes::from_schedule(ks.clone())));
     match stolen {
-        Some((off, _)) => println!("Act 3 — Volt Boot: key RECOVERED error-free at register offset {off}"),
+        Some((off, _)) => {
+            println!("Act 3 — Volt Boot: key RECOVERED error-free at register offset {off}")
+        }
         None => println!("Act 3 — Volt Boot: key not recovered (unexpected)"),
     }
 }

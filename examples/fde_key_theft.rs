@@ -26,8 +26,10 @@ fn main() {
     let secret = b"wallet-seed: pony torch vivid lobster amateur nephew";
     sector[..secret.len()].copy_from_slice(secret);
     disk.write_sector(&cipher, 7, &sector).expect("write");
-    println!("victim: disk sector 7 encrypted; raw ciphertext starts {:02x?}...",
-        &disk.raw_sector(7).unwrap()[..8]);
+    println!(
+        "victim: disk sector 7 encrypted; raw ciphertext starts {:02x?}...",
+        &disk.raw_sector(7).unwrap()[..8]
+    );
 
     // The key schedule goes on-chip and nowhere else.
     let mut soc = devices::raspberry_pi_4(0xD15C);

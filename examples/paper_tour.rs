@@ -34,8 +34,11 @@ fn main() {
         sram.power_off(OffEvent::held(0.15)).unwrap();
         sram.elapse(std::time::Duration::from_secs(60), Temperature::ROOM);
         let sagged = sram.power_on().unwrap().retention_fraction();
-        println!("held at 0.55 V: {:.1}% retained; sagged to 0.15 V: {:.1}%",
-            held * 100.0, sagged * 100.0);
+        println!(
+            "held at 0.55 V: {:.1}% retained; sagged to 0.15 V: {:.1}%",
+            held * 100.0,
+            sagged * 100.0
+        );
     }
 
     stop("S3", "cold boot fails on on-chip SRAM at any survivable temperature");
@@ -46,7 +49,8 @@ fn main() {
         soc.run_program(0, &builders::nop_sled(512), 0x8_0000, 100_000);
         let truth = soc.core(0).unwrap().l1i.way_image(0).unwrap();
         let outcome = ColdBootAttack::new(-40.0, 5).execute(&mut soc).unwrap();
-        let hd = analysis::fractional_hamming(&outcome.image("core0.l1i.way0").unwrap().bits, &truth);
+        let hd =
+            analysis::fractional_hamming(&outcome.image("core0.l1i.way0").unwrap().bits, &truth);
         println!("-40 C, 5 ms: fractional damage {hd:.3} — the victim's code is gone");
     }
 
@@ -80,7 +84,8 @@ fn main() {
         println!(
             "0.2 A source: rail sagged to {:.2} V, damage {:.1}%",
             outcome.transient_min_voltage.unwrap(),
-            analysis::fractional_hamming(&outcome.image("core0.l1i.way0").unwrap().bits, &truth) * 100.0
+            analysis::fractional_hamming(&outcome.image("core0.l1i.way0").unwrap().bits, &truth)
+                * 100.0
         );
     }
 
@@ -102,10 +107,8 @@ fn main() {
         let mut soc = devices::imx53_qsb(seed ^ 4);
         soc.power_on_all();
         let reference = workloads::iram_bitmap(&mut soc).unwrap();
-        let outcome = VoltBootAttack::new("SH13")
-            .extraction(Extraction::IramJtag)
-            .execute(&mut soc)
-            .unwrap();
+        let outcome =
+            VoltBootAttack::new("SH13").extraction(Extraction::IramJtag).execute(&mut soc).unwrap();
         let dump = &outcome.image("iram").unwrap().bits;
         println!(
             "error {:.2}%; damage map (1 row = whole iRAM):\n{}",
@@ -133,7 +136,11 @@ fn main() {
                         .images_matching("core0.l1d")
                         .map(|i| i.bits.to_bytes().iter().filter(|&&b| b == 0xAA).count())
                         .sum();
-                    if n > 1000 { "attack succeeds" } else { "attack stopped" }
+                    if n > 1000 {
+                        "attack succeeds"
+                    } else {
+                        "attack stopped"
+                    }
                 }
                 Err(e) => {
                     println!("  {}: attack stopped ({e})", cm.name());

@@ -24,13 +24,19 @@ fn main() {
     // Authenticate: the same die matches, other dies do not.
     let fresh = powerup_samples(&mut die1, 1).pop().unwrap();
     println!("\nauthentication distances (threshold {:.2}):", puf.threshold);
-    println!("  die 1 (same silicon):    {:.3}  -> {}", puf.distance(&fresh),
-        if puf.matches(&fresh) { "MATCH" } else { "reject" });
+    println!(
+        "  die 1 (same silicon):    {:.3}  -> {}",
+        puf.distance(&fresh),
+        if puf.matches(&fresh) { "MATCH" } else { "reject" }
+    );
     for seed in 2..6 {
         let mut other = voltboot_sram::puf::test_array("other", 1024, seed);
         let response = powerup_samples(&mut other, 1).pop().unwrap();
-        println!("  die {seed} (different die):  {:.3}  -> {}", puf.distance(&response),
-            if puf.matches(&response) { "MATCH" } else { "reject" });
+        println!(
+            "  die {seed} (different die):  {:.3}  -> {}",
+            puf.distance(&response),
+            if puf.matches(&response) { "MATCH" } else { "reject" }
+        );
     }
 
     // TRNG: von Neumann debiasing of two power-ups.

@@ -33,7 +33,11 @@ fn main() {
     let extracted = &outcome.image("core0.l1i.way0").unwrap().bits;
     let accuracy = 1.0 - analysis::fractional_hamming(extracted, &ground_truth);
     let nops = analysis::count_pattern(extracted, &0xD503201Fu32.to_le_bytes());
-    println!("\nVolt Boot: retention accuracy {:.2}%, {} NOP words recovered", accuracy * 100.0, nops);
+    println!(
+        "\nVolt Boot: retention accuracy {:.2}%, {} NOP words recovered",
+        accuracy * 100.0,
+        nops
+    );
 
     // 3. The cold-boot baseline on an identical victim: even at the
     //    SoC's -40 C hard limit, nothing survives a few milliseconds.

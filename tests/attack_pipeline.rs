@@ -13,9 +13,7 @@ fn pi4_cache_attack_is_bit_exact_on_all_cores() {
     soc.power_on_all();
     workloads::baremetal_nop_fill(&mut soc).unwrap();
     let truth: Vec<_> = (0..4)
-        .map(|c| {
-            (0..3).map(|w| soc.core(c).unwrap().l1i.way_image(w).unwrap()).collect::<Vec<_>>()
-        })
+        .map(|c| (0..3).map(|w| soc.core(c).unwrap().l1i.way_image(w).unwrap()).collect::<Vec<_>>())
         .collect();
 
     let outcome = VoltBootAttack::new("TP15")
@@ -24,10 +22,10 @@ fn pi4_cache_attack_is_bit_exact_on_all_cores() {
         .unwrap();
 
     assert!(outcome.rail_held);
-    for core in 0..4 {
-        for way in 0..3 {
+    for (core, ways) in truth.iter().enumerate() {
+        for (way, want) in ways.iter().enumerate() {
             let img = outcome.image(&format!("core{core}.l1i.way{way}")).unwrap();
-            assert_eq!(img.bits, truth[core][way], "core {core} way {way} must be bit-exact");
+            assert_eq!(&img.bits, want, "core {core} way {way} must be bit-exact");
         }
     }
     // 4 cores x (2 d-ways + 3 i-ways) images.
@@ -55,10 +53,8 @@ fn imx_iram_attack_without_boot_media() {
     let mut soc = devices::imx53_qsb(0x5555);
     soc.power_on_all();
     let reference = workloads::iram_bitmap(&mut soc).unwrap();
-    let outcome = VoltBootAttack::new("SH13")
-        .extraction(Extraction::IramJtag)
-        .execute(&mut soc)
-        .unwrap();
+    let outcome =
+        VoltBootAttack::new("SH13").extraction(Extraction::IramJtag).execute(&mut soc).unwrap();
     // Boots from internal ROM: the reboot step must say so implicitly
     // (no external media; entry 0).
     let reboot = outcome.steps.iter().find(|s| s.step == "reboot").unwrap();
@@ -78,10 +74,8 @@ fn weak_probe_fails_exactly_where_the_paper_says() {
     soc.power_on_all();
     workloads::baremetal_nop_fill(&mut soc).unwrap();
     let truth = soc.core(0).unwrap().l1i.way_image(0).unwrap();
-    let outcome = VoltBootAttack::new("TP15")
-        .probe(Probe::weak_source(0.0, 0.2))
-        .execute(&mut soc)
-        .unwrap();
+    let outcome =
+        VoltBootAttack::new("TP15").probe(Probe::weak_source(0.0, 0.2)).execute(&mut soc).unwrap();
     assert!(outcome.rail_held, "the rail is held, just sagging");
     assert!(outcome.transient_min_voltage.unwrap() < 0.3);
     let got = &outcome.image("core0.l1i.way0").unwrap().bits;

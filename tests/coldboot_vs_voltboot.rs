@@ -86,11 +86,13 @@ fn longer_off_time_destroys_cold_boot_but_not_voltboot() {
     // re-plug) keeps nothing — the "short retention time" obstacle.
     let (mut soc, truth) = staged(0x0FF1);
     let outcome = ColdBootAttack::new(-110.0, 5).execute(&mut soc).unwrap();
-    let quick = analysis::fractional_hamming(&outcome.image("core0.l1d.way0").unwrap().bits, &truth);
+    let quick =
+        analysis::fractional_hamming(&outcome.image("core0.l1d.way0").unwrap().bits, &truth);
 
     let (mut soc2, truth2) = staged(0x0FF2);
     let outcome2 = ColdBootAttack::new(-110.0, 500).execute(&mut soc2).unwrap();
-    let slow = analysis::fractional_hamming(&outcome2.image("core0.l1d.way0").unwrap().bits, &truth2);
+    let slow =
+        analysis::fractional_hamming(&outcome2.image("core0.l1d.way0").unwrap().bits, &truth2);
 
     // ~80% of cells survive (shared-domain drain included) -> ~10% error.
     assert!(quick < 0.15, "5 ms at -110 C keeps most data: {quick}");

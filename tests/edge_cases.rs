@@ -58,7 +58,7 @@ fn extraction_of_every_surface_in_one_session() {
     ] {
         assert_eq!(images.len() % 4, 0);
         for img in images {
-            assert!(img.bits.len() > 0, "{}", img.source);
+            assert!(!img.bits.is_empty(), "{}", img.source);
         }
     }
 }

@@ -18,10 +18,7 @@ fn probing_an_unknown_pad_fails_cleanly() {
     let mut soc = devices::raspberry_pi_4(0xF1);
     soc.power_on_all();
     let err = VoltBootAttack::new("TP99").execute(&mut soc).unwrap_err();
-    assert!(matches!(
-        err,
-        AttackError::Soc(SocError::Pdn(PdnError::UnknownProbePoint { .. }))
-    ));
+    assert!(matches!(err, AttackError::Soc(SocError::Pdn(PdnError::UnknownProbePoint { .. }))));
 }
 
 #[test]
@@ -33,10 +30,7 @@ fn wrong_probe_setpoint_is_rejected_at_attach() {
         .probe(Probe::bench_supply(3.3, 3.0))
         .execute(&mut soc)
         .unwrap_err();
-    assert!(matches!(
-        err,
-        AttackError::Soc(SocError::Pdn(PdnError::ProbeVoltageMismatch { .. }))
-    ));
+    assert!(matches!(err, AttackError::Soc(SocError::Pdn(PdnError::ProbeVoltageMismatch { .. }))));
 }
 
 #[test]
@@ -45,10 +39,7 @@ fn second_attack_with_probe_still_attached_fails_at_attach() {
     soc.power_on_all();
     VoltBootAttack::new("TP15").execute(&mut soc).unwrap();
     let err = VoltBootAttack::new("TP15").execute(&mut soc).unwrap_err();
-    assert!(matches!(
-        err,
-        AttackError::Soc(SocError::Pdn(PdnError::ProbeAlreadyAttached { .. }))
-    ));
+    assert!(matches!(err, AttackError::Soc(SocError::Pdn(PdnError::ProbeAlreadyAttached { .. }))));
     // Detaching recovers.
     soc.network_mut().detach_probe("TP15").unwrap();
     assert!(VoltBootAttack::new("TP15").execute(&mut soc).is_ok());
@@ -85,12 +76,8 @@ fn power_cycle_during_held_state_keeps_soc_usable_after_errors() {
     let _ = VoltBootAttack::new("TP99").execute(&mut soc);
     // The board still works: programs run, a proper attack succeeds.
     soc.enable_caches(0);
-    let exit = soc.run_program(
-        0,
-        &voltboot_armlite::program::builders::nop_sled(16),
-        0x8_0000,
-        10_000,
-    );
+    let exit =
+        soc.run_program(0, &voltboot_armlite::program::builders::nop_sled(16), 0x8_0000, 10_000);
     assert!(matches!(exit, voltboot_armlite::RunExit::Halted(0)));
     assert!(VoltBootAttack::new("TP15").execute(&mut soc).is_ok());
 }

@@ -87,9 +87,7 @@ fn one_attack_reconstructs_code_data_addresses_and_control_flow() {
     //    victim's code region (the checksum loop).
     let branches = btb_branches(&btb[0]);
     assert!(
-        branches
-            .iter()
-            .any(|&(pc, tgt)| pc > tgt && (0x8_0000..0x8_0100).contains(&tgt)),
+        branches.iter().any(|&(pc, tgt)| pc > tgt && (0x8_0000..0x8_0100).contains(&tgt)),
         "the loop's backward branch must be in the BTB: {branches:x?}"
     );
 

@@ -15,10 +15,11 @@ use voltboot_soc::{devices, BootSource, PowerCycleSpec};
 fn pi4_with_mem_pad(seed: u64) -> voltboot_soc::Soc {
     let mut soc = devices::raspberry_pi_4(seed);
     // The device catalog builds the network; extend it with a second pad.
-    *soc.network_mut() = soc
-        .network()
-        .clone()
-        .with_probe_point(ProbePoint::new("TP_MEM", "VDD_MEM", "memory-rail pad"));
+    *soc.network_mut() = soc.network().clone().with_probe_point(ProbePoint::new(
+        "TP_MEM",
+        "VDD_MEM",
+        "memory-rail pad",
+    ));
     soc
 }
 

@@ -22,9 +22,7 @@ fn extraction_program_reads_the_dcache_through_cp15() {
 
     // Find which way took the line, using the host debug path as oracle.
     let way = (0..2u8)
-        .find(|&w| {
-            soc.ramindex(0, RamId::L1DData, w, 0, true).unwrap()[0] == 0xABAB_ABAB_ABAB_ABAB
-        })
+        .find(|&w| soc.ramindex(0, RamId::L1DData, w, 0, true).unwrap()[0] == 0xABAB_ABAB_ABAB_ABAB)
         .expect("line cached in some way");
 
     // The attacker's extraction program, run on the core at EL3.
@@ -82,7 +80,10 @@ fn ramindex_at_el1_faults() {
     soc.core_mut(0).unwrap().cpu.set_el(ExceptionLevel::El1);
     let exit = soc.run_core(0, 10_000);
     assert!(
-        matches!(exit, RunExit::Fault(voltboot_armlite::BusFault::PermissionDenied { required_el: 3 }, _)),
+        matches!(
+            exit,
+            RunExit::Fault(voltboot_armlite::BusFault::PermissionDenied { required_el: 3 }, _)
+        ),
         "RAMINDEX below EL3 must fault: {exit:?}"
     );
 }
