@@ -1,0 +1,120 @@
+//! Attack-campaign replay under fault-rate sweeps.
+//!
+//! Runs the Volt Boot attack N times per fault rate against a Raspberry
+//! Pi 4 victim, with the campaign runner's retry/backoff and the seeded
+//! fault plan deciding which repetitions glitch. Writes the full
+//! machine-readable report (per-sweep summaries, per-rep records,
+//! per-step timings and counters) to `BENCH_campaign.json` next to
+//! `BENCH_sram.json`.
+//!
+//! ```text
+//! cargo run --release -p voltboot-bench --bin campaign -- [--reps N] [--smoke]
+//! ```
+//!
+//! Everything is virtual-clock deterministic: two runs with the same
+//! `VOLTBOOT_SEED` / `VOLTBOOT_FAULT_SEED` produce byte-identical
+//! reports. `--smoke` runs a small fixed-seed campaign twice, fails the
+//! process on any byte drift or schema regression, and skips the file
+//! write — the CI gate.
+
+use voltboot::attack::VoltBootAttack;
+use voltboot::campaign::{Campaign, RepStatus, RetryPolicy};
+use voltboot::fault::{FaultPlan, FaultRates};
+use voltboot::telemetry::json::Value;
+use voltboot_armlite::program::builders;
+use voltboot_soc::{devices, Soc};
+
+/// The fault rates the sweep replays the attack under.
+const SWEEP_RATES: [f64; 3] = [0.0, 0.05, 0.2];
+
+fn victim(die_seed: u64) -> impl FnMut(u64) -> Soc {
+    move |rep| {
+        let mut soc = devices::raspberry_pi_4(die_seed ^ rep.wrapping_mul(0x9E37_79B9));
+        soc.power_on_all();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(128), 0x10000, 100_000);
+        soc
+    }
+}
+
+/// Runs the full sweep and renders the report document.
+fn sweep_report(die_seed: u64, fault_seed: u64, reps: u64) -> String {
+    let mut sweeps = Vec::new();
+    for (i, &rate) in SWEEP_RATES.iter().enumerate() {
+        let plan = FaultPlan::new(fault_seed.wrapping_add(i as u64), FaultRates::uniform(rate));
+        let campaign = Campaign::new(VoltBootAttack::new("TP15"), plan, reps)
+            .retry(RetryPolicy { max_attempts: 3, initial_backoff_ns: 50_000_000 });
+        let result = campaign.run(victim(die_seed));
+        println!(
+            "rate {rate:>4}: {} success / {} degraded / {} failed over {reps} reps",
+            result.count(RepStatus::Success),
+            result.count(RepStatus::Degraded),
+            result.count(RepStatus::Failed),
+        );
+        sweeps.push(Value::object(vec![
+            ("fault_rate", Value::from(rate)),
+            ("result", result.to_value()),
+        ]));
+    }
+    Value::object(vec![
+        ("bench", Value::from("campaign")),
+        ("die_seed", Value::from(die_seed)),
+        ("fault_seed", Value::from(fault_seed)),
+        ("reps_per_rate", Value::from(reps)),
+        ("sweeps", Value::Array(sweeps)),
+    ])
+    .render_pretty()
+}
+
+/// Keys any schema-compatible report must contain; CI fails on drift.
+const SCHEMA_KEYS: [&str; 10] = [
+    "\"bench\"",
+    "\"fault_seed\"",
+    "\"sweeps\"",
+    "\"fault_rate\"",
+    "\"summary\"",
+    "\"records\"",
+    "\"telemetry\"",
+    "\"counters\"",
+    "\"timings\"",
+    "\"clock_ns\"",
+];
+
+fn smoke() -> i32 {
+    // Fixed seeds: the smoke gate checks reproducibility and schema, not
+    // the user's environment.
+    let (die_seed, fault_seed, reps) = (0x0020_22A5_B007, 0x000F_A017_C0DE, 4);
+    let a = sweep_report(die_seed, fault_seed, reps);
+    let b = sweep_report(die_seed, fault_seed, reps);
+    if a != b {
+        eprintln!("SMOKE FAIL: same-seed campaign reports differ byte-wise");
+        return 1;
+    }
+    for key in SCHEMA_KEYS {
+        if !a.contains(key) {
+            eprintln!("SMOKE FAIL: report schema is missing {key}");
+            return 1;
+        }
+    }
+    println!("smoke ok: {} bytes, byte-identical across runs, schema intact", a.len());
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    let mut reps: u64 = 100;
+    if let Some(i) = args.iter().position(|a| a == "--reps") {
+        reps = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--reps needs an integer, got {:?}", args.get(i + 1)));
+    }
+
+    voltboot_bench::banner("CAMPAIGN", "attack replay under fault-rate sweeps");
+    let report = sweep_report(voltboot_bench::seed(), voltboot_bench::fault_seed(), reps);
+    std::fs::write("BENCH_campaign.json", &report).expect("write BENCH_campaign.json");
+    println!("wrote BENCH_campaign.json ({} bytes)", report.len());
+}

@@ -9,10 +9,18 @@
 /// `VOLTBOOT_SEED` environment variable (decimal, or hex with a `0x`
 /// prefix).
 pub fn seed() -> u64 {
-    std::env::var("VOLTBOOT_SEED")
+    std::env::var("VOLTBOOT_SEED").ok().and_then(|s| parse_seed(&s)).unwrap_or(0x0020_22A5_B007)
+}
+
+/// The fault-plan seed the campaign binary uses, overridable via the
+/// `VOLTBOOT_FAULT_SEED` environment variable (decimal, or hex with a
+/// `0x` prefix). Kept separate from [`seed`] so the silicon and the
+/// glitch schedule can vary independently.
+pub fn fault_seed() -> u64 {
+    std::env::var("VOLTBOOT_FAULT_SEED")
         .ok()
         .and_then(|s| parse_seed(&s))
-        .unwrap_or(0x0020_22A5_B007)
+        .unwrap_or(0x000F_A017_C0DE)
 }
 
 fn parse_seed(s: &str) -> Option<u64> {
@@ -40,5 +48,11 @@ mod tests {
     #[test]
     fn seed_has_a_default() {
         assert_ne!(super::seed(), 0);
+    }
+
+    #[test]
+    fn fault_seed_has_a_distinct_default() {
+        assert_ne!(super::fault_seed(), 0);
+        assert_ne!(super::fault_seed(), super::seed());
     }
 }

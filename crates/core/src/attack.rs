@@ -15,11 +15,27 @@
 //! paper's Table 1.
 
 use crate::error::AttackError;
+use crate::fault::{self, StepFaults};
 use serde::{Deserialize, Serialize};
 use voltboot_pdn::Probe;
 use voltboot_soc::debug::{RamId, RAMINDEX_BEAT_BYTES};
-use voltboot_soc::{BootSource, PowerCycleSpec, Soc};
+use voltboot_soc::{BootSource, CycleFaults, PowerCycleSpec, Soc};
 use voltboot_sram::{PackedBits, Temperature};
+use voltboot_telemetry::Recorder;
+
+/// Virtual duration of the pad-voltage measurement (identify step).
+pub const IDENTIFY_STEP_NS: u64 = 150_000;
+/// Virtual duration of clipping the probe on (attach step).
+pub const ATTACH_STEP_NS: u64 = 2_000_000;
+/// Virtual duration of the reboot into the extraction image.
+pub const REBOOT_STEP_NS: u64 = 120_000_000;
+/// Virtual duration of extracting one image over the debug port.
+pub const EXTRACT_IMAGE_NS: u64 = 8_000_000;
+
+/// Extra contact resistance (ohms) a glitched probe clip adds.
+pub const PROBE_GLITCH_EXTRA_OHMS: f64 = 0.6;
+/// Factor a glitched contact sags the probe's deliverable current by.
+pub const PROBE_GLITCH_LIMIT_FACTOR: f64 = 0.15;
 
 /// What the attacker reads out after the reboot.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +124,49 @@ impl AttackOutcome {
     }
 }
 
+/// Execution environment of one attack attempt: where telemetry goes and
+/// which injected faults the attempt must weather.
+///
+/// `Default` is a disabled recorder and no faults — running through it is
+/// bit-identical to the plain [`VoltBootAttack::execute`] path.
+#[derive(Debug, Clone, Default)]
+pub struct AttackContext {
+    /// Telemetry sink (spans, counters, events, virtual clock).
+    pub recorder: Recorder,
+    /// Faults injected into this attempt.
+    pub faults: StepFaults,
+}
+
+impl AttackContext {
+    /// A context that records telemetry but injects nothing.
+    pub fn recording() -> Self {
+        AttackContext { recorder: Recorder::new(), faults: StepFaults::none() }
+    }
+}
+
+/// An attack attempt that failed partway: the error plus everything the
+/// flow completed before it — so a campaign can record a *partial*
+/// outcome instead of discarding the attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackFailure {
+    /// What stopped the attempt.
+    pub error: AttackError,
+    /// The steps that completed before the failure, in order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl std::fmt::Display for AttackFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (after {} completed steps)", self.error, self.steps.len())
+    }
+}
+
+impl std::error::Error for AttackFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// The Volt Boot attack, configured builder-style.
 ///
 /// See the [crate-level example](crate).
@@ -170,21 +229,70 @@ impl VoltBootAttack {
     /// when a countermeasure stops the attack, [`AttackError::Soc`] for
     /// device-level failures.
     pub fn execute(&self, soc: &mut Soc) -> Result<AttackOutcome, AttackError> {
+        self.execute_in(soc, &AttackContext::default()).map_err(|failure| failure.error)
+    }
+
+    /// [`VoltBootAttack::execute`] under an explicit [`AttackContext`]:
+    /// per-step telemetry spans on the context's recorder and the
+    /// context's injected faults applied at their named injection points.
+    ///
+    /// With a default context this is exactly `execute` (which delegates
+    /// here), so the fault-free outcome is bit-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackFailure`] wrapping the same error classes as `execute`,
+    /// plus the steps that completed before the failure.
+    pub fn execute_in(
+        &self,
+        soc: &mut Soc,
+        ctx: &AttackContext,
+    ) -> Result<AttackOutcome, AttackFailure> {
+        let rec = &ctx.recorder;
+        let faults = ctx.faults;
+        rec.incr("attack.executions", 1);
         let mut steps = Vec::new();
 
         // Step 1: identify the domain and measure the pad.
-        let live = soc.network().measure_pad(&self.pad).map_err(voltboot_soc::SocError::Pdn)?;
+        let span = rec.span("attack.identify");
+        let live = match soc.network().measure_pad(&self.pad) {
+            Ok(v) => v,
+            Err(e) => {
+                return Err(AttackFailure { error: voltboot_soc::SocError::Pdn(e).into(), steps })
+            }
+        };
+        rec.advance(IDENTIFY_STEP_NS);
+        span.end();
         steps.push(StepRecord {
             step: "identify".into(),
             detail: format!("pad {} reads {live:.2} V", self.pad),
         });
 
-        // Step 2: attach the probe at the measured voltage.
+        // Step 2: attach the probe at the measured voltage. A glitched
+        // contact adds series resistance and sags the deliverable
+        // current — the probe is still attached, just badly.
+        let span = rec.span("attack.attach");
         let mut probe = self.probe;
         if probe.voltage == 0.0 {
             probe.voltage = live;
         }
-        soc.attach_probe(&self.pad, probe)?;
+        if faults.probe_glitch {
+            probe.series_resistance += PROBE_GLITCH_EXTRA_OHMS;
+            probe.current_limit *= PROBE_GLITCH_LIMIT_FACTOR;
+            rec.incr("attack.fault.probe_glitch", 1);
+            rec.event(
+                "attack.fault.probe_glitch",
+                &format!(
+                    "contact glitch: +{PROBE_GLITCH_EXTRA_OHMS} ohm, limit {:.2} A",
+                    probe.current_limit
+                ),
+            );
+        }
+        if let Err(e) = soc.attach_probe(&self.pad, probe) {
+            return Err(AttackFailure { error: e.into(), steps });
+        }
+        rec.advance(ATTACH_STEP_NS);
+        span.end();
         steps.push(StepRecord {
             step: "attach".into(),
             detail: format!(
@@ -193,8 +301,16 @@ impl VoltBootAttack {
             ),
         });
 
-        // Step 3: abrupt power cycle.
-        let report = soc.power_cycle(self.cycle)?;
+        // Step 3: abrupt power cycle, with rail-level faults mapped down
+        // into the SoC layer.
+        let cycle_faults = CycleFaults {
+            brownout_min_voltage: faults.brownout_min_voltage,
+            reconnect_misorder: faults.reconnect_misorder,
+        };
+        let report = match soc.power_cycle_with(self.cycle, cycle_faults, rec) {
+            Ok(r) => r,
+            Err(e) => return Err(AttackFailure { error: e.into(), steps }),
+        };
         let target_rail = soc
             .network()
             .probe_points()
@@ -205,6 +321,9 @@ impl VoltBootAttack {
         let rail = report.outcome.rail(&target_rail);
         let rail_held = rail.map(|r| r.is_held()).unwrap_or(false);
         let transient_min_voltage = rail.and_then(|r| r.transient_min_voltage());
+        if rail_held {
+            rec.incr("attack.rail_held", 1);
+        }
         steps.push(StepRecord {
             step: "power-cycle".into(),
             detail: match transient_min_voltage {
@@ -215,6 +334,7 @@ impl VoltBootAttack {
 
         // Step 4: reboot into the attacker's context.
         if !self.skip_reboot {
+            let span = rec.span("attack.reboot");
             let source = if soc.boot_rom().boots_from_internal_rom {
                 BootSource::InternalRom
             } else {
@@ -225,7 +345,12 @@ impl VoltBootAttack {
                     signed: false,
                 }
             };
-            let outcome = soc.boot(source)?;
+            let outcome = match soc.boot(source) {
+                Ok(o) => o,
+                Err(e) => return Err(AttackFailure { error: e.into(), steps }),
+            };
+            rec.advance(REBOOT_STEP_NS);
+            span.end();
             steps.push(StepRecord {
                 step: "reboot".into(),
                 detail: format!(
@@ -238,8 +363,41 @@ impl VoltBootAttack {
             });
         }
 
-        // Step 5: extract.
-        let images = self.extract(soc)?;
+        // Step 5: extract. A dropout fails the attempt; bit errors
+        // corrupt the images but let the attempt complete.
+        let span = rec.span("attack.extract");
+        if faults.extraction_dropout {
+            rec.incr("attack.fault.extraction_dropout", 1);
+            rec.event("attack.fault.extraction_dropout", "debug port failed to enumerate");
+            return Err(AttackFailure {
+                error: AttackError::ExtractionDenied {
+                    detail: "debug port failed to enumerate (injected dropout)".into(),
+                },
+                steps,
+            });
+        }
+        let mut images = match self.extract(soc) {
+            Ok(i) => i,
+            Err(e) => return Err(AttackFailure { error: e, steps }),
+        };
+        rec.advance(EXTRACT_IMAGE_NS * images.len() as u64);
+        rec.incr("attack.images_extracted", images.len() as u64);
+        if faults.readout_bit_error_fraction > 0.0 {
+            let mut flipped = 0usize;
+            for (i, image) in images.iter_mut().enumerate() {
+                flipped += fault::corrupt_bits(
+                    &mut image.bits,
+                    faults.readout_bit_error_fraction,
+                    faults.readout_noise_seed.wrapping_add(i as u64),
+                );
+            }
+            rec.incr("attack.fault.readout_bits_flipped", flipped as u64);
+            rec.event(
+                "attack.fault.readout_bit_error",
+                &format!("{flipped} bits flipped across {} images", images.len()),
+            );
+        }
+        span.end();
         steps.push(StepRecord {
             step: "extract".into(),
             detail: format!("{} images", images.len()),

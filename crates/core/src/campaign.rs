@@ -1,0 +1,250 @@
+//! Campaign runner: many attack repetitions under a fault plan.
+//!
+//! A single [`VoltBootAttack::execute`] answers "does the attack work
+//! once, on a clean bench". A [`Campaign`] answers the operational
+//! question: across N repetitions with realistic glitch rates, how often
+//! does it work, how often does it degrade, and what does a failed
+//! extraction leave behind? Each repetition gets a fresh victim from a
+//! factory closure, each attempt draws its faults deterministically from
+//! the campaign's [`FaultPlan`], failed attempts retry with doubling
+//! (virtual-clock) backoff, and an exhausted repetition records a
+//! *partial* outcome — the campaign never panics and never aborts early.
+//!
+//! Everything the run produces — per-step timings, fault counters, the
+//! per-rep records — exports as hand-rolled JSON that is byte-identical
+//! across runs with the same seeds.
+
+use crate::attack::{AttackContext, VoltBootAttack};
+use crate::fault::FaultPlan;
+use voltboot_soc::Soc;
+use voltboot_telemetry::{json, Recorder};
+
+/// Retry behaviour for failed attack attempts within one repetition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per repetition (at least 1).
+    pub max_attempts: u32,
+    /// Virtual backoff before the first retry; doubles per retry.
+    pub initial_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, initial_backoff_ns: 50_000_000 }
+    }
+}
+
+/// How one repetition ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepStatus {
+    /// The attack completed with the rail held and no fault fired on the
+    /// winning attempt.
+    Success,
+    /// The attack completed, but a fault fired (or the rail was not
+    /// held): the outcome exists but is degraded.
+    Degraded,
+    /// Every attempt failed; the record holds the partial outcome of the
+    /// last attempt.
+    Failed,
+}
+
+impl RepStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            RepStatus::Success => "success",
+            RepStatus::Degraded => "degraded",
+            RepStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What one repetition recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepRecord {
+    /// Repetition index.
+    pub rep: u64,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// How the repetition ended.
+    pub status: RepStatus,
+    /// Whether the winning attempt held the rail (false when failed).
+    pub rail_held: bool,
+    /// Images the winning attempt extracted (0 when failed).
+    pub images: usize,
+    /// Fault classes that fired across all attempts of this repetition.
+    pub faults_fired: Vec<String>,
+    /// Steps the last attempt completed (the partial outcome on failure;
+    /// the full flow on success).
+    pub steps_completed: usize,
+    /// The last attempt's error, when the repetition failed.
+    pub error: Option<String>,
+}
+
+/// A campaign: one attack, one fault plan, N repetitions.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    attack: VoltBootAttack,
+    plan: FaultPlan,
+    reps: u64,
+    retry: RetryPolicy,
+}
+
+impl Campaign {
+    /// Creates a campaign running `attack` `reps` times under `plan`.
+    pub fn new(attack: VoltBootAttack, plan: FaultPlan, reps: u64) -> Self {
+        Campaign { attack, plan, reps, retry: RetryPolicy::default() }
+    }
+
+    /// Overrides the retry policy (builder style).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Runs the campaign. `victim` builds a fresh, fully-prepared SoC
+    /// (powered on, victim software run) for every attempt; it receives
+    /// the repetition index so a campaign can vary the victim per rep
+    /// while staying deterministic.
+    ///
+    /// Never panics on attempt failures: a repetition whose attempts are
+    /// exhausted records a partial outcome and the campaign moves on.
+    pub fn run(&self, mut victim: impl FnMut(u64) -> Soc) -> CampaignResult {
+        let rec = Recorder::new();
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut records = Vec::with_capacity(self.reps as usize);
+
+        for rep in 0..self.reps {
+            let span = rec.span("campaign.rep");
+            rec.incr("campaign.reps", 1);
+            let mut faults_fired: Vec<String> = Vec::new();
+            let mut record = None;
+
+            for attempt in 0..max_attempts {
+                rec.incr("campaign.attempts", 1);
+                let faults = self.plan.draw(rep, attempt);
+                faults_fired.extend(faults.fired().iter().map(|s| s.to_string()));
+
+                let mut soc = victim(rep);
+                let ctx = AttackContext { recorder: rec.clone(), faults };
+                match self.attack.execute_in(&mut soc, &ctx) {
+                    Ok(outcome) => {
+                        let clean = !faults.any() && outcome.rail_held;
+                        record = Some(RepRecord {
+                            rep,
+                            attempts: attempt + 1,
+                            status: if clean { RepStatus::Success } else { RepStatus::Degraded },
+                            rail_held: outcome.rail_held,
+                            images: outcome.images.len(),
+                            faults_fired: Vec::new(),
+                            steps_completed: outcome.steps.len(),
+                            error: None,
+                        });
+                        break;
+                    }
+                    Err(failure) => {
+                        rec.event(
+                            "campaign.attempt_failed",
+                            &format!("rep {rep} attempt {attempt}: {failure}"),
+                        );
+                        if attempt + 1 < max_attempts {
+                            rec.incr("campaign.retries", 1);
+                            // Doubling virtual backoff between attempts.
+                            rec.advance(self.retry.initial_backoff_ns << attempt);
+                        } else {
+                            // Retries exhausted: keep the partial outcome.
+                            record = Some(RepRecord {
+                                rep,
+                                attempts: max_attempts,
+                                status: RepStatus::Failed,
+                                rail_held: false,
+                                images: 0,
+                                faults_fired: Vec::new(),
+                                steps_completed: failure.steps.len(),
+                                error: Some(failure.error.to_string()),
+                            });
+                        }
+                    }
+                }
+            }
+
+            let mut record = record.expect("every rep produces a record");
+            record.faults_fired = faults_fired;
+            match record.status {
+                RepStatus::Success => rec.incr("campaign.successes", 1),
+                RepStatus::Degraded => rec.incr("campaign.degraded", 1),
+                RepStatus::Failed => rec.incr("campaign.failures", 1),
+            }
+            span.end();
+            records.push(record);
+        }
+
+        CampaignResult { plan: self.plan, reps: self.reps, records, recorder: rec }
+    }
+}
+
+/// Everything a campaign run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The plan the campaign ran under.
+    pub plan: FaultPlan,
+    /// Requested repetitions.
+    pub reps: u64,
+    /// One record per repetition, in order.
+    pub records: Vec<RepRecord>,
+    /// The run's telemetry (spans, counters, events, virtual clock).
+    pub recorder: Recorder,
+}
+
+impl CampaignResult {
+    /// Repetitions that ended with the given status.
+    pub fn count(&self, status: RepStatus) -> usize {
+        self.records.iter().filter(|r| r.status == status).count()
+    }
+
+    /// The machine-readable report as a JSON value. Deterministic: equal
+    /// seeds produce byte-identical renderings.
+    pub fn to_value(&self) -> json::Value {
+        let summary = json::Value::object(vec![
+            ("reps", json::Value::from(self.reps)),
+            ("successes", json::Value::from(self.count(RepStatus::Success))),
+            ("degraded", json::Value::from(self.count(RepStatus::Degraded))),
+            ("failures", json::Value::from(self.count(RepStatus::Failed))),
+        ]);
+        let records: Vec<json::Value> = self
+            .records
+            .iter()
+            .map(|r| {
+                json::Value::object(vec![
+                    ("rep", json::Value::from(r.rep)),
+                    ("attempts", json::Value::from(u64::from(r.attempts))),
+                    ("status", json::Value::from(r.status.as_str())),
+                    ("rail_held", json::Value::from(r.rail_held)),
+                    ("images", json::Value::from(r.images)),
+                    (
+                        "faults_fired",
+                        json::Value::Array(
+                            r.faults_fired.iter().map(|f| json::Value::from(f.as_str())).collect(),
+                        ),
+                    ),
+                    ("steps_completed", json::Value::from(r.steps_completed)),
+                    (
+                        "error",
+                        r.error.as_deref().map(json::Value::from).unwrap_or(json::Value::Null),
+                    ),
+                ])
+            })
+            .collect();
+        json::Value::object(vec![
+            ("fault_seed", json::Value::from(self.plan.seed())),
+            ("summary", summary),
+            ("records", json::Value::Array(records)),
+            ("telemetry", self.recorder.to_value()),
+        ])
+    }
+
+    /// The report rendered as pretty JSON (stable key order, trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        self.to_value().render_pretty()
+    }
+}

@@ -59,13 +59,23 @@
 
 pub mod analysis;
 pub mod attack;
+pub mod campaign;
 pub mod countermeasures;
 pub mod dram_recovery;
 pub mod error;
 pub mod experiments;
+pub mod fault;
 pub mod os_noise;
 pub mod report;
 pub mod workloads;
 
-pub use attack::{AttackOutcome, ColdBootAttack, ExtractedImage, Extraction, VoltBootAttack};
+pub use attack::{
+    AttackContext, AttackFailure, AttackOutcome, ColdBootAttack, ExtractedImage, Extraction,
+    VoltBootAttack,
+};
+pub use campaign::{Campaign, CampaignResult, RepRecord, RepStatus, RetryPolicy};
 pub use error::AttackError;
+pub use fault::{FaultPlan, FaultRates, StepFaults};
+
+/// Re-export of the telemetry substrate (recorder, spans, JSON builder).
+pub use voltboot_telemetry as telemetry;

@@ -50,7 +50,7 @@ pub mod transient;
 
 pub use domain::{DomainKind, Load, PowerDomain};
 pub use error::PdnError;
-pub use network::{DisconnectOutcome, PowerNetwork, RailOutcome};
+pub use network::{DisconnectOutcome, PowerNetwork, RailOutcome, ReconnectOrder};
 pub use pmic::Pmic;
 pub use probe::{Probe, ProbePoint};
 pub use rail::{Rail, RegulatorKind};

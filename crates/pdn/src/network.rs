@@ -7,6 +7,23 @@ use crate::probe::{Probe, ProbePoint};
 use crate::rail::{Rail, RegulatorKind};
 use crate::transient::{DisconnectTransient, SurgeProfile};
 use serde::{Deserialize, Serialize};
+use voltboot_telemetry::Recorder;
+
+/// Modelled wall time one PMIC sequencing step takes at reconnect, used
+/// to advance the telemetry recorder's virtual clock.
+const RAIL_SEQUENCE_STEP_NS: u64 = 1_200_000;
+
+/// The order rails come back in when main power returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReconnectOrder {
+    /// The PMIC's programmed bring-up sequence (normal operation).
+    #[default]
+    PmicSequence,
+    /// The sequence reversed — the reconnect-ordering fault mode, where
+    /// a glitched PMIC (or a hasty manual re-plug) brings dependent
+    /// rails up before their parents.
+    Reversed,
+}
 
 /// What happened to one rail when main power was cut.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -141,11 +158,16 @@ impl PowerNetwork {
     ///
     /// # Errors
     ///
-    /// [`PdnError::UnknownProbePoint`] if the pad does not exist.
+    /// * [`PdnError::UnknownProbePoint`] if the pad does not exist.
+    /// * [`PdnError::UnknownRail`] if the pad's rail is gone from the
+    ///   PMIC (a mid-campaign reconfiguration can invalidate pads that
+    ///   were valid when the board description was built).
     pub fn measure_pad(&self, pad: &str) -> Result<f64, PdnError> {
         let point = self.find_pad(pad)?;
-        let rail =
-            self.pmic.rail(&point.rail).expect("probe points are validated against the pmic");
+        let rail = self
+            .pmic
+            .rail(&point.rail)
+            .ok_or_else(|| PdnError::UnknownRail { name: point.rail.clone() })?;
         if self.main_connected {
             Ok(rail.nominal_voltage)
         } else {
@@ -207,31 +229,62 @@ impl PowerNetwork {
     ///
     /// # Errors
     ///
-    /// [`PdnError::InvalidMainTransition`] if main power is already off.
+    /// * [`PdnError::InvalidMainTransition`] if main power is already off.
+    /// * [`PdnError::UnknownProbePoint`] if an attached probe's pad no
+    ///   longer resolves (the pad list was edited after attach).
     pub fn disconnect_main(&mut self) -> Result<DisconnectOutcome, PdnError> {
+        self.disconnect_main_traced(&Recorder::disabled())
+    }
+
+    /// [`PowerNetwork::disconnect_main`], recording per-rail telemetry:
+    /// `pdn.rails_held` / `pdn.rails_dropped` counters, a
+    /// `pdn.disconnect` span, and the virtual time of the longest surge.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PowerNetwork::disconnect_main`].
+    pub fn disconnect_main_traced(
+        &mut self,
+        rec: &Recorder,
+    ) -> Result<DisconnectOutcome, PdnError> {
         if !self.main_connected {
             return Err(PdnError::InvalidMainTransition {
                 attempted: "disconnect while disconnected",
             });
         }
+        let span = rec.span("pdn.disconnect");
+
+        // Resolve every rail before committing the state change so a
+        // lookup failure leaves the network consistent.
+        let mut rails = Vec::with_capacity(self.pmic.rails.len());
+        let mut held_count = 0u64;
+        let mut max_surge_ns = 0u64;
+        for rail in &self.pmic.rails {
+            let mut probe = None;
+            for (pad, p) in &self.attached {
+                let point = self.find_pad(pad)?;
+                if point.rail == rail.name {
+                    probe = Some(*p);
+                    break;
+                }
+            }
+            let held = probe.map(|probe| {
+                let surge = self.rail_surge(&rail.name);
+                max_surge_ns = max_surge_ns.max((surge.surge_duration * 1e9) as u64);
+                DisconnectTransient::compute(&probe, rail, &surge)
+            });
+            if held.is_some() {
+                held_count += 1;
+            }
+            rails.push(RailOutcome { rail: rail.name.clone(), held });
+        }
         self.main_connected = false;
 
-        let rails = self
-            .pmic
-            .rails
-            .iter()
-            .map(|rail| {
-                let probe = self.attached.iter().find_map(|(pad, probe)| {
-                    let point = self.find_pad(pad).expect("attached pads exist");
-                    (point.rail == rail.name).then_some(*probe)
-                });
-                let held = probe.map(|probe| {
-                    let surge = self.rail_surge(&rail.name);
-                    DisconnectTransient::compute(&probe, rail, &surge)
-                });
-                RailOutcome { rail: rail.name.clone(), held }
-            })
-            .collect();
+        rec.incr("pdn.disconnects", 1);
+        rec.incr("pdn.rails_held", held_count);
+        rec.incr("pdn.rails_dropped", rails.len() as u64 - held_count);
+        rec.advance(max_surge_ns);
+        span.end();
         Ok(DisconnectOutcome { rails })
     }
 
@@ -242,11 +295,36 @@ impl PowerNetwork {
     ///
     /// [`PdnError::InvalidMainTransition`] if main power is already on.
     pub fn reconnect_main(&mut self) -> Result<Vec<String>, PdnError> {
+        self.reconnect_main_with(ReconnectOrder::PmicSequence, &Recorder::disabled())
+    }
+
+    /// [`PowerNetwork::reconnect_main`] with an explicit bring-up order
+    /// (the reconnect-ordering fault mode) and telemetry: a
+    /// `pdn.reconnect` span advanced by one sequencing step per rail.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PowerNetwork::reconnect_main`].
+    pub fn reconnect_main_with(
+        &mut self,
+        order: ReconnectOrder,
+        rec: &Recorder,
+    ) -> Result<Vec<String>, PdnError> {
         if self.main_connected {
             return Err(PdnError::InvalidMainTransition { attempted: "reconnect while connected" });
         }
+        let span = rec.span("pdn.reconnect");
         self.main_connected = true;
-        Ok(self.pmic.sequence().into_iter().map(String::from).collect())
+        let mut sequence: Vec<String> =
+            self.pmic.sequence().into_iter().map(String::from).collect();
+        if order == ReconnectOrder::Reversed {
+            sequence.reverse();
+            rec.incr("pdn.reconnects_misordered", 1);
+        }
+        rec.incr("pdn.reconnects", 1);
+        rec.advance(RAIL_SEQUENCE_STEP_NS * sequence.len() as u64);
+        span.end();
+        Ok(sequence)
     }
 
     /// Opens or closes a domain's power gate at runtime (the PMU's
@@ -404,6 +482,42 @@ mod tests {
         net.reconnect_main().unwrap();
         net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
         net.disconnect_main().unwrap();
+        assert_eq!(net.measure_pad("TP15").unwrap(), 0.8);
+    }
+
+    #[test]
+    fn misordered_reconnect_reverses_sequence() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.disconnect_main().unwrap();
+        let order =
+            net.reconnect_main_with(ReconnectOrder::Reversed, &Recorder::disabled()).unwrap();
+        assert_eq!(order, vec!["VDD_CORE", "VDD_MEM", "VDD_IO"]);
+    }
+
+    #[test]
+    fn disconnect_records_telemetry() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        let rec = Recorder::new();
+        net.disconnect_main_traced(&rec).unwrap();
+        assert_eq!(rec.counter("pdn.rails_held"), 1);
+        assert_eq!(rec.counter("pdn.rails_dropped"), 2);
+        assert!(rec.now_ns() > 0, "surge must advance the virtual clock");
+        assert_eq!(rec.timings()["pdn.disconnect"].count, 1);
+        net.reconnect_main_with(ReconnectOrder::PmicSequence, &rec).unwrap();
+        assert_eq!(rec.counter("pdn.reconnects"), 1);
+    }
+
+    #[test]
+    fn detach_after_disconnect_keeps_network_usable() {
+        // The mid-campaign fault sequence: probe contact is lost between
+        // the disconnect and the reconnect. Nothing here may panic.
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        net.disconnect_main().unwrap();
+        net.detach_probe("TP15").unwrap();
+        assert_eq!(net.measure_pad("TP15").unwrap(), 0.0);
+        net.reconnect_main().unwrap();
         assert_eq!(net.measure_pad("TP15").unwrap(), 0.8);
     }
 

@@ -85,8 +85,18 @@ impl DisconnectTransient {
         };
 
         let min_voltage = (probe.voltage - ir_drop - l_drop - foldback).max(0.0);
+        // The steady state after the surge is subject to the same
+        // current-limit physics: a source whose limit sits below the
+        // *steady* demand stays folded back forever, it does not recover
+        // to a healthy output once the surge passes.
+        let steady_delivered = surge.steady_current.min(probe.current_limit);
+        let steady_foldback = if surge.steady_current > probe.current_limit {
+            probe.voltage * (1.0 - probe.current_limit / surge.steady_current)
+        } else {
+            0.0
+        };
         let steady_voltage =
-            (probe.voltage - surge.steady_current.min(probe.current_limit) * r_total).max(0.0);
+            (probe.voltage - steady_delivered * r_total - steady_foldback).max(0.0);
         DisconnectTransient {
             steady_voltage,
             min_voltage,
@@ -162,6 +172,40 @@ mod tests {
             assert!(t.min_voltage <= last + 1e-12, "droop not monotone at {surge_a} A");
             last = t.min_voltage;
         }
+    }
+
+    #[test]
+    fn steady_overload_folds_back_instead_of_recovering() {
+        // Regression: a source whose current limit sits below the rail's
+        // *steady* demand used to report a healthy post-surge voltage
+        // (only the IR term was applied), masking a permanent overload.
+        let rail = core_rail();
+        let probe = Probe::weak_source(0.8, 0.3);
+        let surge = SurgeProfile { steady_current: 1.2, surge_current: 2.5, surge_duration: 20e-6 };
+        let t = DisconnectTransient::compute(&probe, &rail, &surge);
+        // Foldback term alone: 0.8 * (1 - 0.3/1.2) = 0.6 V of collapse.
+        assert!(
+            t.steady_voltage < 0.2,
+            "steady overload must collapse the held voltage, got {}",
+            t.steady_voltage
+        );
+        // A source with ample limit at the same steady load stays healthy.
+        let strong = DisconnectTransient::compute(&Probe::bench_supply(0.8, 3.0), &rail, &surge);
+        assert!(strong.steady_voltage > 0.7, "got {}", strong.steady_voltage);
+    }
+
+    #[test]
+    fn steady_voltage_unchanged_when_within_limit() {
+        // The fix must not perturb the healthy path: steady demand below
+        // the limit sees only the IR term, exactly as before.
+        let t = DisconnectTransient::compute(
+            &Probe::bench_supply(0.8, 3.0),
+            &core_rail(),
+            &core_surge(),
+        );
+        let r_total = 0.02 + core_rail().parasitic_resistance;
+        let expected = 0.8 - 0.5 * r_total;
+        assert!((t.steady_voltage - expected).abs() < 1e-12, "got {}", t.steady_voltage);
     }
 
     #[test]

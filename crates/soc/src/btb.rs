@@ -12,7 +12,8 @@
 
 use crate::error::SocError;
 use serde::{Deserialize, Serialize};
-use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, SramArray, Temperature};
+use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, ResolutionMode, SramArray, Temperature};
+use voltboot_telemetry::Recorder;
 
 /// Number of entries in the modelled BTB.
 pub const BTB_ENTRIES: usize = 64;
@@ -84,7 +85,7 @@ impl Btb {
     /// [`SocError::RamIndexOutOfRange`] past the last entry.
     pub fn entry_word(&self, i: usize) -> Result<u64, SocError> {
         if i >= BTB_ENTRIES {
-            return Err(SocError::RamIndexOutOfRange { way: 0, index: i as u32 });
+            return Err(SocError::RamIndexOutOfRange { way: 0, index: i as u64 });
         }
         let bytes = self.sram.try_read_bytes(i * 8, 8)?;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
@@ -114,7 +115,20 @@ impl Btb {
     ///
     /// [`SocError::Sram`] on an invalid transition.
     pub fn power_on(&mut self) -> Result<voltboot_sram::RetentionReport, SocError> {
-        Ok(self.sram.power_on()?)
+        self.power_on_traced(&Recorder::disabled())
+    }
+
+    /// [`Btb::power_on`] that additionally records SRAM resolution
+    /// counters into `rec`.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::Sram`] on an invalid transition.
+    pub fn power_on_traced(
+        &mut self,
+        rec: &Recorder,
+    ) -> Result<voltboot_sram::RetentionReport, SocError> {
+        Ok(self.sram.power_on_traced(ResolutionMode::Batched, rec)?)
     }
 
     /// Cuts power.

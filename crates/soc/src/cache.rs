@@ -19,7 +19,8 @@
 
 use crate::error::SocError;
 use serde::{Deserialize, Serialize};
-use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, SramArray, Temperature};
+use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, ResolutionMode, SramArray, Temperature};
+use voltboot_telemetry::Recorder;
 
 /// Whether a cache serves instruction fetches or data accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -69,9 +70,13 @@ impl CacheGeometry {
     }
 
     /// Decomposes an address into `(tag, set, offset)`.
+    ///
+    /// All masking happens in `u64` before narrowing: `addr as usize`
+    /// would silently drop the high half of a 64-bit physical address on
+    /// a 32-bit host and alias distant lines onto the same set.
     pub fn split(&self, addr: u64) -> (u64, usize, usize) {
-        let offset = (addr as usize) & (self.line_bytes - 1);
-        let set = ((addr as usize) / self.line_bytes) & (self.sets() - 1);
+        let offset = (addr & (self.line_bytes as u64 - 1)) as usize;
+        let set = ((addr / self.line_bytes as u64) & (self.sets() as u64 - 1)) as usize;
         let tag = addr / (self.line_bytes as u64 * self.sets() as u64);
         (tag, set, offset)
     }
@@ -250,8 +255,22 @@ impl Cache {
     ///
     /// [`SocError::Sram`] on an invalid transition.
     pub fn power_on(&mut self) -> Result<voltboot_sram::RetentionReport, SocError> {
-        let report = self.data.power_on()?;
-        self.tags.power_on()?;
+        self.power_on_traced(&Recorder::disabled())
+    }
+
+    /// [`Cache::power_on`] that additionally records SRAM resolution
+    /// counters into `rec` (counters only — safe from parallel power-on
+    /// jobs).
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::Sram`] on an invalid transition.
+    pub fn power_on_traced(
+        &mut self,
+        rec: &Recorder,
+    ) -> Result<voltboot_sram::RetentionReport, SocError> {
+        let report = self.data.power_on_traced(ResolutionMode::Batched, rec)?;
+        self.tags.power_on_traced(ResolutionMode::Batched, rec)?;
         // Micro-architectural reset: the enable bit clears, victim
         // pointers reset. Tag/data SRAM keeps whatever physics decided.
         self.enabled = false;
@@ -519,8 +538,9 @@ impl Cache {
         len: usize,
     ) -> Result<Vec<u8>, SocError> {
         let way_bytes = self.geometry.sets() * self.geometry.line_bytes;
-        if way >= self.geometry.ways || offset + len > way_bytes {
-            return Err(SocError::RamIndexOutOfRange { way: way as u8, index: offset as u32 });
+        let end = offset.checked_add(len);
+        if way >= self.geometry.ways || end.is_none_or(|e| e > way_bytes) {
+            return Err(SocError::RamIndexOutOfRange { way: way as u64, index: offset as u64 });
         }
         // Data RAM layout: line-major (set*ways + way); a way image walks
         // every set picking this way's line.
@@ -558,7 +578,7 @@ impl Cache {
     /// [`SocError::RamIndexOutOfRange`] or SRAM failures.
     pub fn raw_tag_word(&self, way: usize, set: usize) -> Result<u64, SocError> {
         if way >= self.geometry.ways || set >= self.geometry.sets() {
-            return Err(SocError::RamIndexOutOfRange { way: way as u8, index: set as u32 });
+            return Err(SocError::RamIndexOutOfRange { way: way as u64, index: set as u64 });
         }
         let line = self.line_index(set, way);
         let bytes = self.tags.try_read_bytes(line * 8, 8)?;
@@ -573,7 +593,7 @@ impl Cache {
     /// [`SocError::RamIndexOutOfRange`] or SRAM failures.
     pub fn write_tag_raw(&mut self, set: usize, way: usize, word: u64) -> Result<(), SocError> {
         if way >= self.geometry.ways || set >= self.geometry.sets() {
-            return Err(SocError::RamIndexOutOfRange { way: way as u8, index: set as u32 });
+            return Err(SocError::RamIndexOutOfRange { way: way as u64, index: set as u64 });
         }
         let line = self.line_index(set, way);
         self.tags.try_write_bytes(line * 8, &word.to_le_bytes())?;
@@ -1034,5 +1054,27 @@ mod tests {
         assert!(matches!(c.raw_way_bytes(2, 0, 1), Err(SocError::RamIndexOutOfRange { .. })));
         assert!(matches!(c.raw_way_bytes(0, 2048, 1), Err(SocError::RamIndexOutOfRange { .. })));
         assert!(matches!(c.raw_tag_word(0, 32), Err(SocError::RamIndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn out_of_range_errors_report_coordinates_verbatim() {
+        let c = powered_cache();
+        // Coordinates past u8/u32 must survive into the error untruncated.
+        let big_way = (u8::MAX as usize) + 7;
+        let big_set = (u32::MAX as usize) + 42;
+        assert_eq!(
+            c.raw_way_bytes(big_way, big_set, 1),
+            Err(SocError::RamIndexOutOfRange { way: big_way as u64, index: big_set as u64 })
+        );
+        assert_eq!(
+            c.raw_tag_word(big_way, big_set),
+            Err(SocError::RamIndexOutOfRange { way: big_way as u64, index: big_set as u64 })
+        );
+        // `offset + len` overflowing usize must error, not wrap past the
+        // bounds check and panic deep in the SRAM layer.
+        assert_eq!(
+            c.raw_way_bytes(0, usize::MAX, 2),
+            Err(SocError::RamIndexOutOfRange { way: 0, index: usize::MAX as u64 })
+        );
     }
 }

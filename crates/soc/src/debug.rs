@@ -93,7 +93,7 @@ pub fn ramindex_read(
         let beats_per_line = geometry.line_bytes / RAMINDEX_BEAT_BYTES;
         let total_beats = geometry.sets() * beats_per_line;
         if (way as usize) >= geometry.ways || (index as usize) >= total_beats {
-            return Err(SocError::RamIndexOutOfRange { way, index });
+            return Err(SocError::RamIndexOutOfRange { way: way.into(), index: index.into() });
         }
         let set = index as usize / beats_per_line;
         if trustzone_enforced && !requester_secure && cache.line_is_secure(way as usize, set)? {

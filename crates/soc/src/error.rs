@@ -31,11 +31,15 @@ pub enum SocError {
         ramid: u8,
     },
     /// A RAMINDEX way/index pair fell outside the target RAM.
+    ///
+    /// The fields are wide enough to report the requested coordinates
+    /// verbatim: earlier revisions narrowed them to `u8`/`u32`, which
+    /// silently truncated large out-of-range requests in the error itself.
     RamIndexOutOfRange {
         /// The requested way.
-        way: u8,
+        way: u64,
         /// The requested index.
-        index: u32,
+        index: u64,
     },
     /// TrustZone enforcement denied access to a secure line from a
     /// non-secure state.

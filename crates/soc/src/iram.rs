@@ -8,7 +8,8 @@
 
 use crate::error::SocError;
 use serde::{Deserialize, Serialize};
-use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, SramArray, Temperature};
+use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, ResolutionMode, SramArray, Temperature};
+use voltboot_telemetry::Recorder;
 
 /// A memory-mapped on-chip SRAM region.
 ///
@@ -92,7 +93,20 @@ impl Iram {
     ///
     /// [`SocError::Sram`] on an invalid transition.
     pub fn power_on(&mut self) -> Result<voltboot_sram::RetentionReport, SocError> {
-        Ok(self.sram.power_on()?)
+        self.power_on_traced(&Recorder::disabled())
+    }
+
+    /// [`Iram::power_on`] that additionally records SRAM resolution
+    /// counters into `rec`.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::Sram`] on an invalid transition.
+    pub fn power_on_traced(
+        &mut self,
+        rec: &Recorder,
+    ) -> Result<voltboot_sram::RetentionReport, SocError> {
+        Ok(self.sram.power_on_traced(ResolutionMode::Batched, rec)?)
     }
 
     /// Cuts power.

@@ -58,4 +58,4 @@ pub use dram::Dram;
 pub use error::SocError;
 pub use iram::Iram;
 pub use regfile::VectorRegFile;
-pub use soc::{Core, PowerCycleSpec, Soc, SocConfig};
+pub use soc::{Core, CycleFaults, PowerCycleSpec, Soc, SocConfig, MISORDER_INRUSH_DIP_V};

@@ -10,7 +10,8 @@
 
 use crate::error::SocError;
 use serde::{Deserialize, Serialize};
-use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, SramArray, Temperature};
+use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, ResolutionMode, SramArray, Temperature};
+use voltboot_telemetry::Recorder;
 
 /// The physical storage of one core's `v0..v31` register file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -72,7 +73,20 @@ impl VectorRegFile {
     ///
     /// [`SocError::Sram`] on an invalid transition.
     pub fn power_on(&mut self) -> Result<voltboot_sram::RetentionReport, SocError> {
-        Ok(self.sram.power_on()?)
+        self.power_on_traced(&Recorder::disabled())
+    }
+
+    /// [`VectorRegFile::power_on`] that additionally records SRAM
+    /// resolution counters into `rec`.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::Sram`] on an invalid transition.
+    pub fn power_on_traced(
+        &mut self,
+        rec: &Recorder,
+    ) -> Result<voltboot_sram::RetentionReport, SocError> {
+        Ok(self.sram.power_on_traced(ResolutionMode::Batched, rec)?)
     }
 
     /// Cuts power.

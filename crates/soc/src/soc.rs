@@ -10,8 +10,9 @@ use crate::regfile::VectorRegFile;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use voltboot_armlite::{Bus, BusFault, Cpu, Program, RamIndexRequest, RunExit};
-use voltboot_pdn::{DisconnectOutcome, PowerNetwork, Probe, RailOutcome};
+use voltboot_pdn::{DisconnectOutcome, PowerNetwork, Probe, RailOutcome, ReconnectOrder};
 use voltboot_sram::{par, OffEvent, RetentionReport, Temperature};
+use voltboot_telemetry::Recorder;
 
 /// One CPU core: an interpreter plus its private L1 caches and physical
 /// NEON register file.
@@ -92,6 +93,40 @@ impl PowerCycleSpec {
             off_duration: Duration::from_millis(off_ms),
             temperature: Temperature::from_celsius(celsius),
         }
+    }
+}
+
+/// Rail-level faults injected into one power cycle (the glitch surface a
+/// real bench attack fights with: flaky contacts, marginal supplies, and
+/// PMIC sequencing races). The default is no fault of any kind, and the
+/// fault-free path through [`Soc::power_cycle_with`] is bit-identical to
+/// [`Soc::power_cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CycleFaults {
+    /// A momentary brown-out while main power is off: every *held* rail's
+    /// transient minimum is pulled down to this voltage (if lower than
+    /// what the disconnect surge alone produced). A brown-out below the
+    /// cells' DRV costs retention exactly like an undersized probe.
+    pub brownout_min_voltage: Option<f64>,
+    /// The PMIC restores rails in the wrong order at reconnect. Held
+    /// rails see a small extra inrush dip
+    /// ([`MISORDER_INRUSH_DIP_V`]) from the misordered load switch-on.
+    pub reconnect_misorder: bool,
+}
+
+/// Extra transient dip (volts) a held rail suffers when the PMIC
+/// re-sequences rails in the wrong order at reconnect.
+pub const MISORDER_INRUSH_DIP_V: f64 = 0.05;
+
+impl CycleFaults {
+    /// No faults: the nominal cycle.
+    pub fn none() -> Self {
+        CycleFaults::default()
+    }
+
+    /// Whether any fault is armed.
+    pub fn any(&self) -> bool {
+        *self != CycleFaults::default()
     }
 }
 
@@ -344,7 +379,12 @@ impl Soc {
     /// on in parallel; each array's contents are a pure function of its
     /// own seed, so the result is identical to the sequential order.
     pub fn power_on_all(&mut self) {
-        let _ = Self::power_on_arrays(&mut self.cores, &mut self.l2, self.iram.as_mut());
+        let _ = Self::power_on_arrays(
+            &mut self.cores,
+            &mut self.l2,
+            self.iram.as_mut(),
+            &Recorder::disabled(),
+        );
         self.sync_cpu_regs_from_sram();
         self.ever_powered = true;
     }
@@ -357,20 +397,23 @@ impl Soc {
         cores: &mut [Core],
         l2: &mut Cache,
         iram: Option<&mut Iram>,
+        rec: &Recorder,
     ) -> Result<Vec<RetentionReport>, SocError> {
         type Job<'a> = Box<dyn FnOnce() -> Result<RetentionReport, SocError> + Send + 'a>;
+        // Jobs run on worker threads in nondeterministic order, so they
+        // record only counters (commutative) — never events or spans.
         let mut jobs: Vec<Job<'_>> = Vec::new();
         for core in cores {
             let Core { l1i, l1d, vregs, tlb, btb, .. } = core;
-            jobs.push(Box::new(|| l1i.power_on()));
-            jobs.push(Box::new(|| l1d.power_on()));
-            jobs.push(Box::new(|| vregs.power_on()));
-            jobs.push(Box::new(|| tlb.power_on()));
-            jobs.push(Box::new(|| btb.power_on()));
+            jobs.push(Box::new(|| l1i.power_on_traced(rec)));
+            jobs.push(Box::new(|| l1d.power_on_traced(rec)));
+            jobs.push(Box::new(|| vregs.power_on_traced(rec)));
+            jobs.push(Box::new(|| tlb.power_on_traced(rec)));
+            jobs.push(Box::new(|| btb.power_on_traced(rec)));
         }
-        jobs.push(Box::new(|| l2.power_on()));
+        jobs.push(Box::new(|| l2.power_on_traced(rec)));
         if let Some(iram) = iram {
-            jobs.push(Box::new(|| iram.power_on()));
+            jobs.push(Box::new(|| iram.power_on_traced(rec)));
         }
         par::join_all(jobs).into_iter().collect()
     }
@@ -411,19 +454,43 @@ impl Soc {
     /// [`SocError::NotPowered`] if the board was never brought up, or
     /// power-network errors.
     pub fn power_cycle(&mut self, spec: PowerCycleSpec) -> Result<PowerCycleReport, SocError> {
+        self.power_cycle_with(spec, CycleFaults::none(), &Recorder::disabled())
+    }
+
+    /// [`Soc::power_cycle`] with injected rail faults and telemetry.
+    ///
+    /// With `faults == CycleFaults::none()` and a disabled recorder this
+    /// is exactly `power_cycle`: the plain entry point delegates here, so
+    /// the fault-free outcome is bit-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::NotPowered`] if the board was never brought up, or
+    /// power-network errors.
+    pub fn power_cycle_with(
+        &mut self,
+        spec: PowerCycleSpec,
+        faults: CycleFaults,
+        rec: &Recorder,
+    ) -> Result<PowerCycleReport, SocError> {
         if !self.ever_powered {
             return Err(SocError::NotPowered);
         }
+        let span = rec.span("soc.power_cycle");
+        rec.incr("soc.power_cycles", 1);
         // Architectural registers live in SRAM across the cycle.
         self.sync_sram_regs_from_cpu();
 
-        let outcome = self.network.disconnect_main()?;
-        let core_event = Self::rail_event(outcome.rail(&self.core_rail));
-        let l2_event = Self::rail_event(outcome.rail(&self.l2_rail));
+        let outcome = self.network.disconnect_main_traced(rec)?;
+        if let Some(v) = faults.brownout_min_voltage {
+            rec.event("soc.fault.brownout", &format!("rails browned out to {v} V"));
+        }
+        let core_event = Self::faulted_rail_event(outcome.rail(&self.core_rail), faults, rec);
+        let l2_event = Self::faulted_rail_event(outcome.rail(&self.l2_rail), faults, rec);
         let iram_event = self
             .iram_rail
             .as_deref()
-            .map(|rail| Self::rail_event(outcome.rail(rail)))
+            .map(|rail| Self::faulted_rail_event(outcome.rail(rail), faults, rec))
             .unwrap_or(OffEvent::Unpowered);
 
         for core in &mut self.cores {
@@ -459,9 +526,19 @@ impl Soc {
             event,
         );
 
-        self.network.reconnect_main()?;
+        // The off interval passes on the virtual clock.
+        rec.advance(u64::try_from(spec.off_duration.as_nanos()).unwrap_or(u64::MAX));
 
-        let retention = Self::power_on_arrays(&mut self.cores, &mut self.l2, self.iram.as_mut())?;
+        let order = if faults.reconnect_misorder {
+            rec.event("soc.fault.reconnect_misorder", "pmic restored rails in reverse order");
+            ReconnectOrder::Reversed
+        } else {
+            ReconnectOrder::PmicSequence
+        };
+        self.network.reconnect_main_with(order, rec)?;
+
+        let retention =
+            Self::power_on_arrays(&mut self.cores, &mut self.l2, self.iram.as_mut(), rec)?;
 
         // Cores reset; NEON registers resolve from their SRAM.
         for core in &mut self.cores {
@@ -469,6 +546,7 @@ impl Soc {
             core.security = SecurityState::Secure;
         }
         self.sync_cpu_regs_from_sram();
+        span.end();
 
         Ok(PowerCycleReport { outcome, retention })
     }
@@ -478,6 +556,32 @@ impl Soc {
             Some(t) => OffEvent::held_with_droop(t.steady_voltage, t.min_voltage),
             None => OffEvent::Unpowered,
         }
+    }
+
+    /// [`Soc::rail_event`] with the cycle's injected faults folded into a
+    /// held rail's transient minimum. A fault-free `faults` returns the
+    /// plain event untouched.
+    fn faulted_rail_event(
+        outcome: Option<&RailOutcome>,
+        faults: CycleFaults,
+        rec: &Recorder,
+    ) -> OffEvent {
+        let event = Self::rail_event(outcome);
+        let OffEvent::Held { voltage, transient_min_voltage } = event else {
+            return event;
+        };
+        let mut tmin = transient_min_voltage;
+        if let Some(v) = faults.brownout_min_voltage {
+            if v < tmin {
+                tmin = v;
+                rec.incr("soc.fault.brownout_rails", 1);
+            }
+        }
+        if faults.reconnect_misorder {
+            tmin = (tmin - MISORDER_INRUSH_DIP_V).max(0.0);
+            rec.incr("soc.fault.misorder_dips", 1);
+        }
+        OffEvent::held_with_droop(voltage, tmin)
     }
 
     fn sync_sram_regs_from_cpu(&mut self) {
@@ -998,6 +1102,62 @@ mod tests {
         let after = soc.core(0).unwrap().l1i.way_image(0).unwrap();
         assert_eq!(before, after, "held cycle must retain the i-cache exactly");
         assert_eq!(report.retention_of("core0.l1i.data").unwrap().lost, 0);
+    }
+
+    #[test]
+    fn brownout_below_drv_defeats_a_held_cycle() {
+        let mut soc = pi4();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(256), 0x10000, 100_000);
+        soc.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+
+        // A brown-out to 50 mV is far below every cell's DRV: even though
+        // the probe holds the rail before and after, the dip costs
+        // (essentially) all retained state.
+        let faults = CycleFaults { brownout_min_voltage: Some(0.05), ..CycleFaults::none() };
+        let rec = Recorder::new();
+        let report = soc.power_cycle_with(PowerCycleSpec::quick(), faults, &rec).unwrap();
+        assert!(report.outcome.rail("VDD_CORE").unwrap().is_held());
+        let l1i = report.retention_of("core0.l1i.data").unwrap();
+        assert_eq!(l1i.retained, 0, "brown-out below DRV must lose the i-cache");
+        assert!(rec.counter("soc.fault.brownout_rails") > 0);
+        assert!(rec.counter("sram.cells_lost") > 0);
+    }
+
+    #[test]
+    fn faultless_power_cycle_with_matches_power_cycle() {
+        let mk = || {
+            let mut soc = pi4();
+            soc.enable_caches(0);
+            soc.run_program(0, &builders::nop_sled(256), 0x10000, 100_000);
+            soc.attach_probe("TP15", Probe::bench_supply(0.8, 0.9)).unwrap();
+            soc
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let ra = a.power_cycle(PowerCycleSpec::quick()).unwrap();
+        let rb = b
+            .power_cycle_with(PowerCycleSpec::quick(), CycleFaults::none(), &Recorder::new())
+            .unwrap();
+        assert_eq!(ra.retention, rb.retention);
+        assert_eq!(
+            a.core(0).unwrap().l1i.way_image(0).unwrap(),
+            b.core(0).unwrap().l1i.way_image(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn misordered_reconnect_dips_held_rails() {
+        let mut soc = pi4();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(256), 0x10000, 100_000);
+        soc.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        let faults = CycleFaults { reconnect_misorder: true, ..CycleFaults::none() };
+        let rec = Recorder::new();
+        soc.power_cycle_with(PowerCycleSpec::quick(), faults, &rec).unwrap();
+        assert!(rec.counter("soc.fault.misorder_dips") > 0);
+        assert!(rec.counter("pdn.reconnects_misordered") > 0);
+        assert!(rec.events().iter().any(|e| e.name == "soc.fault.reconnect_misorder"));
     }
 
     #[test]

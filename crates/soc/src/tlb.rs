@@ -14,7 +14,8 @@
 use crate::error::SocError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, SramArray, Temperature};
+use voltboot_sram::{ArrayConfig, OffEvent, PackedBits, ResolutionMode, SramArray, Temperature};
+use voltboot_telemetry::Recorder;
 
 /// Number of entries in the modelled main TLB.
 pub const TLB_ENTRIES: usize = 48;
@@ -84,7 +85,7 @@ impl Tlb {
     /// [`SocError::RamIndexOutOfRange`] past the last entry.
     pub fn entry_word(&self, i: usize) -> Result<u64, SocError> {
         if i >= TLB_ENTRIES {
-            return Err(SocError::RamIndexOutOfRange { way: 0, index: i as u32 });
+            return Err(SocError::RamIndexOutOfRange { way: 0, index: i as u64 });
         }
         let bytes = self.sram.try_read_bytes(i * 8, 8)?;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
@@ -123,7 +124,20 @@ impl Tlb {
     ///
     /// [`SocError::Sram`] on an invalid transition.
     pub fn power_on(&mut self) -> Result<voltboot_sram::RetentionReport, SocError> {
-        let report = self.sram.power_on()?;
+        self.power_on_traced(&Recorder::disabled())
+    }
+
+    /// [`Tlb::power_on`] that additionally records SRAM resolution
+    /// counters into `rec`.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::Sram`] on an invalid transition.
+    pub fn power_on_traced(
+        &mut self,
+        rec: &Recorder,
+    ) -> Result<voltboot_sram::RetentionReport, SocError> {
+        let report = self.sram.power_on_traced(ResolutionMode::Batched, rec)?;
         self.cursor = 0;
         self.resident.clear();
         for i in 0..TLB_ENTRIES {

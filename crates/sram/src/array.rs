@@ -8,6 +8,7 @@ use crate::physics::{LeakageModel, Temperature};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
+use voltboot_telemetry::Recorder;
 
 /// Static configuration of an SRAM array.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -252,12 +253,17 @@ impl SramArray {
     /// Returns the die planes for this array, deriving (or fetching from
     /// the global per-die cache) on first use. The seed, size, and
     /// distribution are immutable after construction, so a memoized
-    /// plane set never goes stale.
-    fn planes(&mut self) -> Arc<engine::DiePlanes> {
+    /// plane set never goes stale. Records where the planes came from
+    /// (only counters — commutative, so parallel array power-ons stay
+    /// deterministic).
+    fn planes(&mut self, rec: &Recorder) -> Arc<engine::DiePlanes> {
         if let Some(p) = &self.planes {
+            rec.incr("sram.planes.memoized", 1);
             return p.clone();
         }
-        let p = engine::planes_for(self.seed, self.config.bits, &self.config.distribution);
+        let (p, cached) =
+            engine::planes_for(self.seed, self.config.bits, &self.config.distribution);
+        rec.incr(if cached { "sram.planes.cache_hits" } else { "sram.planes.built" }, 1);
         self.planes = Some(p.clone());
         p
     }
@@ -284,6 +290,26 @@ impl SramArray {
     ///
     /// Returns [`SramError::InvalidPowerTransition`] if already powered.
     pub fn power_on_with(&mut self, mode: ResolutionMode) -> Result<RetentionReport, SramError> {
+        self.power_on_traced(mode, &Recorder::disabled())
+    }
+
+    /// [`SramArray::power_on_with`] that additionally records resolution
+    /// counters (`sram.power_cycles`, `sram.cells_retained`,
+    /// `sram.cells_lost`, `sram.planes.*`) into `rec`.
+    ///
+    /// Only counters are recorded — never events or spans — because arrays
+    /// power on from parallel worker threads and counter increments are
+    /// the one commutative operation that keeps telemetry deterministic
+    /// regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidPowerTransition`] if already powered.
+    pub fn power_on_traced(
+        &mut self,
+        mode: ResolutionMode,
+        rec: &Recorder,
+    ) -> Result<RetentionReport, SramError> {
         let PowerState::Off { event, stress } = self.state else {
             return Err(SramError::InvalidPowerTransition { attempted: "power on while powered" });
         };
@@ -322,7 +348,7 @@ impl SramArray {
             lost = self.config.bits;
             let dist = self.config.distribution;
             if batch {
-                let planes = self.planes();
+                let planes = self.planes(rec);
                 engine::sample_all(&mut self.data, &planes, self.seed, &dist, event_id);
             } else {
                 for i in 0..self.config.bits {
@@ -332,7 +358,7 @@ impl SramArray {
             }
         } else if batch {
             let dist = self.config.distribution;
-            let planes = self.planes();
+            let planes = self.planes(rec);
             retained =
                 engine::resolve(&mut self.data, &planes, self.seed, &dist, event, stress, event_id);
             lost = self.config.bits - retained;
@@ -351,6 +377,9 @@ impl SramArray {
         }
         self.ever_powered = true;
         self.state = PowerState::Powered;
+        rec.incr("sram.power_cycles", 1);
+        rec.incr("sram.cells_retained", retained as u64);
+        rec.incr("sram.cells_lost", lost as u64);
         let report = RetentionReport {
             name: self.config.name.clone(),
             bits: self.config.bits,
@@ -757,6 +786,20 @@ mod tests {
         let rb = b.power_on_with(ResolutionMode::Batched).unwrap();
         assert_eq!(ra, rb);
         assert_eq!(a.snapshot().unwrap(), b.snapshot().unwrap());
+    }
+
+    #[test]
+    fn traced_power_on_records_counters() {
+        let rec = Recorder::new();
+        let mut s = array(256);
+        s.power_on_traced(ResolutionMode::Batched, &rec).unwrap();
+        assert_eq!(rec.counter("sram.power_cycles"), 1);
+        assert_eq!(rec.counter("sram.cells_lost"), 2048);
+        assert_eq!(rec.counter("sram.cells_retained"), 0);
+        s.power_off(OffEvent::held(0.8)).unwrap();
+        s.power_on_traced(ResolutionMode::Batched, &rec).unwrap();
+        assert_eq!(rec.counter("sram.power_cycles"), 2);
+        assert_eq!(rec.counter("sram.cells_retained"), 2048);
     }
 
     #[test]

@@ -269,13 +269,20 @@ fn plane_key(seed: u64, bits: usize, dist: &CellDistribution) -> PlaneKey {
 
 static PLANE_CACHE: Mutex<VecDeque<(PlaneKey, Arc<DiePlanes>)>> = Mutex::new(VecDeque::new());
 
-/// Returns the memoized planes for one die, building them on first use.
+/// Returns the memoized planes for one die, building them on first use,
+/// plus whether the planes were served from the cache (`true`) or had
+/// to be derived (`false`) — the campaign telemetry layer reports this
+/// as plane-cache hit/miss counters.
 ///
 /// The cache is keyed by `(seed, size, distribution)` and bounded by
 /// total cells; the oldest die is evicted first. Building happens
 /// outside the lock so concurrent arrays (e.g. every cache of a SoC
 /// powering on in parallel) never serialize on each other's builds.
-pub(crate) fn planes_for(seed: u64, bits: usize, dist: &CellDistribution) -> Arc<DiePlanes> {
+pub(crate) fn planes_for(
+    seed: u64,
+    bits: usize,
+    dist: &CellDistribution,
+) -> (Arc<DiePlanes>, bool) {
     let key = plane_key(seed, bits, dist);
     if let Some(found) = PLANE_CACHE
         .lock()
@@ -284,12 +291,12 @@ pub(crate) fn planes_for(seed: u64, bits: usize, dist: &CellDistribution) -> Arc
         .find(|(k, _)| *k == key)
         .map(|(_, p)| p.clone())
     {
-        return found;
+        return (found, true);
     }
     let built = Arc::new(DiePlanes::build(seed, bits, dist));
     let mut cache = PLANE_CACHE.lock().expect("plane cache poisoned");
     if let Some(found) = cache.iter().find(|(k, _)| *k == key).map(|(_, p)| p.clone()) {
-        return found;
+        return (found, true);
     }
     cache.push_back((key, built.clone()));
     let mut total: usize = cache.iter().map(|(_, p)| p.cells_capacity()).sum();
@@ -298,7 +305,7 @@ pub(crate) fn planes_for(seed: u64, bits: usize, dist: &CellDistribution) -> Arc
             total -= evicted.cells_capacity();
         }
     }
-    built
+    (built, false)
 }
 
 /// Drops every memoized plane (used by benchmarks to measure the cold,
@@ -618,11 +625,14 @@ mod tests {
     fn plane_cache_memoizes_and_evicts() {
         clear_plane_cache();
         let dist = CellDistribution::calibrated();
-        let a = planes_for(1, 4096, &dist);
-        let b = planes_for(1, 4096, &dist);
+        let (a, a_hit) = planes_for(1, 4096, &dist);
+        let (b, b_hit) = planes_for(1, 4096, &dist);
         assert!(Arc::ptr_eq(&a, &b), "same die must be served from cache");
-        let c = planes_for(2, 4096, &dist);
+        assert!(!a_hit, "first fetch builds");
+        assert!(b_hit, "second fetch hits");
+        let (c, c_hit) = planes_for(2, 4096, &dist);
         assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!c_hit);
         clear_plane_cache();
     }
 }

@@ -1,0 +1,317 @@
+//! Deterministic structured telemetry for the Volt Boot stack.
+//!
+//! Attack campaigns need per-step timings, counters, and an event log
+//! that are **byte-identical across runs with the same seed** — a hard
+//! requirement for the campaign report, and one wall-clock timestamps
+//! can never meet. This crate therefore records against a *virtual*
+//! clock: simulated components advance it by their modelled durations
+//! (a 500 ms power-off interval advances it 500 ms, a `RAMINDEX` beat
+//! advances it a few hundred nanoseconds), so span durations are exact
+//! functions of what the simulation did, not of host scheduling.
+//!
+//! The API is a cheap cloneable handle, [`Recorder`]; a disabled
+//! recorder ([`Recorder::disabled`]) makes every operation a no-op so
+//! instrumented hot paths cost nothing when nobody is listening.
+//!
+//! ```rust
+//! use voltboot_telemetry::Recorder;
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _span = rec.span("power-cycle");
+//!     rec.advance(500_000_000); // the modelled 500 ms off interval
+//!     rec.incr("rails_held", 1);
+//! }
+//! assert_eq!(rec.counter("rails_held"), 1);
+//! assert_eq!(rec.timings()["power-cycle"].total_ns, 500_000_000);
+//! ```
+//!
+//! JSON export is hand-rolled ([`json`]): the workspace intentionally
+//! carries no serde_json, and deterministic key ordering matters more
+//! than generality here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Accumulated timing of one named span: how many times it ran and the
+/// total virtual nanoseconds spent inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepTiming {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total virtual nanoseconds across those spans.
+    pub total_ns: u64,
+}
+
+/// One timestamped event in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Virtual timestamp in nanoseconds.
+    pub at_ns: u64,
+    /// Event name, e.g. `"fault.brownout"`.
+    pub name: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    clock_ns: u64,
+    counters: BTreeMap<String, u64>,
+    timings: BTreeMap<String, StepTiming>,
+    events: Vec<EventRecord>,
+}
+
+/// A cheap cloneable telemetry sink with a virtual clock.
+///
+/// Clones share the same underlying store, so a recorder can be handed
+/// across crate layers (attack → SoC → PDN → SRAM engine) and every
+/// layer contributes to one report. Counter increments are commutative,
+/// which keeps totals deterministic even when arrays resolve on worker
+/// threads.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Recorder {
+    /// Creates an enabled recorder with the virtual clock at zero.
+    pub fn new() -> Self {
+        Recorder { inner: Some(Arc::new(Mutex::new(Inner::default()))) }
+    }
+
+    /// A recorder that drops everything. All operations are no-ops.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with<R: Default>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        match &self.inner {
+            Some(inner) => f(&mut inner.lock().expect("telemetry store poisoned")),
+            None => R::default(),
+        }
+    }
+
+    /// Advances the virtual clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.with(|i| i.clock_ns = i.clock_ns.saturating_add(ns));
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.with(|i| i.clock_ns)
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        self.with(|i| {
+            *i.counters.entry(name.to_string()).or_insert(0) += by;
+        });
+    }
+
+    /// Reads one counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with(|i| i.counters.get(name).copied().unwrap_or(0))
+    }
+
+    /// Appends a timestamped event to the log.
+    pub fn event(&self, name: &str, detail: &str) {
+        self.with(|i| {
+            let at_ns = i.clock_ns;
+            i.events.push(EventRecord {
+                at_ns,
+                name: name.to_string(),
+                detail: detail.to_string(),
+            });
+        });
+    }
+
+    /// Opens a named span; the span records its virtual duration into
+    /// the timing table when dropped (or explicitly [`Span::end`]ed).
+    pub fn span(&self, name: &str) -> Span {
+        Span { rec: self.clone(), name: name.to_string(), start_ns: self.now_ns(), open: true }
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.with(|i| i.counters.clone())
+    }
+
+    /// Snapshot of all span timings.
+    pub fn timings(&self) -> BTreeMap<String, StepTiming> {
+        self.with(|i| i.timings.clone())
+    }
+
+    /// Snapshot of the event log.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.with(|i| i.events.clone())
+    }
+
+    /// The whole store as a deterministic [`json::Value`] object with
+    /// `clock_ns`, `counters`, `timings`, and `events` keys.
+    pub fn to_value(&self) -> json::Value {
+        let counters =
+            self.counters().into_iter().map(|(k, v)| (k, json::Value::from(v))).collect::<Vec<_>>();
+        let timings = self
+            .timings()
+            .into_iter()
+            .map(|(k, t)| {
+                let obj = json::Value::object(vec![
+                    ("count", json::Value::from(t.count)),
+                    ("total_ns", json::Value::from(t.total_ns)),
+                ]);
+                (k, obj)
+            })
+            .collect::<Vec<_>>();
+        let events = self
+            .events()
+            .into_iter()
+            .map(|e| {
+                json::Value::object(vec![
+                    ("at_ns", json::Value::from(e.at_ns)),
+                    ("name", json::Value::from(e.name)),
+                    ("detail", json::Value::from(e.detail)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        json::Value::object(vec![
+            ("clock_ns", json::Value::from(self.now_ns())),
+            ("counters", json::Value::Object(counters)),
+            ("timings", json::Value::Object(timings)),
+            ("events", json::Value::Array(events)),
+        ])
+    }
+
+    /// [`Recorder::to_value`] rendered as a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+}
+
+/// An open span handle; see [`Recorder::span`].
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    name: String,
+    start_ns: u64,
+    open: bool,
+}
+
+impl Span {
+    /// Closes the span now (equivalent to dropping it).
+    pub fn end(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if !self.open {
+            return;
+        }
+        self.open = false;
+        let elapsed = self.rec.now_ns().saturating_sub(self.start_ns);
+        self.rec.with(|i| {
+            let t = i.timings.entry(self.name.clone()).or_default();
+            t.count += 1;
+            t.total_ns += elapsed;
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        rec.incr("x", 3);
+        rec.advance(100);
+        rec.event("e", "detail");
+        let _ = rec.span("s");
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.counter("x"), 0);
+        assert_eq!(rec.now_ns(), 0);
+        assert!(rec.events().is_empty());
+        assert!(rec.timings().is_empty());
+    }
+
+    #[test]
+    fn spans_measure_virtual_time() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.span("outer");
+            rec.advance(50);
+            {
+                let _inner = rec.span("inner");
+                rec.advance(25);
+            }
+        }
+        let t = rec.timings();
+        assert_eq!(t["outer"], StepTiming { count: 1, total_ns: 75 });
+        assert_eq!(t["inner"], StepTiming { count: 1, total_ns: 25 });
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let rec = Recorder::new();
+        for _ in 0..3 {
+            let s = rec.span("step");
+            rec.advance(10);
+            s.end();
+        }
+        assert_eq!(rec.timings()["step"], StepTiming { count: 3, total_ns: 30 });
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let rec = Recorder::new();
+        let other = rec.clone();
+        other.incr("shared", 2);
+        rec.incr("shared", 1);
+        assert_eq!(rec.counter("shared"), 3);
+    }
+
+    #[test]
+    fn events_are_timestamped() {
+        let rec = Recorder::new();
+        rec.advance(42);
+        rec.event("fault", "rail brown-out");
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at_ns, 42);
+        assert_eq!(events[0].name, "fault");
+    }
+
+    #[test]
+    fn json_export_is_deterministic() {
+        let build = || {
+            let rec = Recorder::new();
+            rec.incr("b", 2);
+            rec.incr("a", 1);
+            rec.advance(7);
+            rec.event("e", "x");
+            rec.to_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"counters\""));
+        // BTreeMap ordering: "a" before "b".
+        assert!(a.find("\"a\"").unwrap() < a.find("\"b\"").unwrap());
+    }
+}
