@@ -8,15 +8,29 @@
 //! `BENCH_sram.json`.
 //!
 //! ```text
-//! cargo run --release -p voltboot-bench --bin campaign -- [--reps N] [--smoke]
+//! cargo run --release -p voltboot-bench --bin campaign -- \
+//!     [--reps N] [--passes N] [--deadline-ns N] \
+//!     [--checkpoint PATH [--resume]] [--smoke] [--resume-smoke]
 //! ```
+//!
+//! * `--passes N` reads each SRAM unit N times and majority-votes the
+//!   bits (odd, capped; see `voltboot::recover`).
+//! * `--deadline-ns N` bounds each repetition's retry loop on the
+//!   virtual clock; overruns are recorded as `timed_out`.
+//! * `--checkpoint PATH` saves an integrity-sealed checkpoint after
+//!   every repetition (one file per sweep rate, `PATH.rateI`); with
+//!   `--resume`, a killed run continues from the checkpoints and the
+//!   final report is byte-identical to an uninterrupted run.
 //!
 //! Everything is virtual-clock deterministic: two runs with the same
 //! `VOLTBOOT_SEED` / `VOLTBOOT_FAULT_SEED` produce byte-identical
 //! reports. `--smoke` runs a small fixed-seed campaign twice, fails the
 //! process on any byte drift or schema regression, and skips the file
-//! write — the CI gate.
+//! write — the CI gate. `--resume-smoke` is the companion gate for the
+//! checkpoint path: it kills a fixed-seed campaign halfway, resumes it,
+//! and fails on any byte drift against the uninterrupted report.
 
+use std::path::{Path, PathBuf};
 use voltboot::attack::VoltBootAttack;
 use voltboot::campaign::{Campaign, RepStatus, RetryPolicy};
 use voltboot::fault::{FaultPlan, FaultRates};
@@ -37,19 +51,66 @@ fn victim(die_seed: u64) -> impl FnMut(u64) -> Soc {
     }
 }
 
+/// Everything a sweep run is parameterised on.
+struct SweepConfig {
+    die_seed: u64,
+    fault_seed: u64,
+    reps: u64,
+    passes: u32,
+    deadline_ns: Option<u64>,
+    /// Checkpoint file stem and whether to resume from existing files.
+    checkpoint: Option<(PathBuf, bool)>,
+}
+
+fn build_campaign(cfg: &SweepConfig, sweep: usize, rate: f64) -> Campaign {
+    let plan = FaultPlan::new(cfg.fault_seed.wrapping_add(sweep as u64), FaultRates::uniform(rate));
+    let mut campaign =
+        Campaign::new(VoltBootAttack::new("TP15").passes(cfg.passes), plan, cfg.reps)
+            .retry(RetryPolicy { max_attempts: 3, initial_backoff_ns: 50_000_000 });
+    if let Some(deadline) = cfg.deadline_ns {
+        campaign = campaign.deadline_ns(deadline);
+    }
+    campaign
+}
+
+/// Per-sweep checkpoint file: one campaign per rate, one file per campaign.
+fn sweep_checkpoint(stem: &Path, sweep: usize) -> PathBuf {
+    let mut name = stem.as_os_str().to_os_string();
+    name.push(format!(".rate{sweep}"));
+    PathBuf::from(name)
+}
+
 /// Runs the full sweep and renders the report document.
-fn sweep_report(die_seed: u64, fault_seed: u64, reps: u64) -> String {
+fn sweep_report(cfg: &SweepConfig) -> String {
     let mut sweeps = Vec::new();
     for (i, &rate) in SWEEP_RATES.iter().enumerate() {
-        let plan = FaultPlan::new(fault_seed.wrapping_add(i as u64), FaultRates::uniform(rate));
-        let campaign = Campaign::new(VoltBootAttack::new("TP15"), plan, reps)
-            .retry(RetryPolicy { max_attempts: 3, initial_backoff_ns: 50_000_000 });
-        let result = campaign.run(victim(die_seed));
+        let campaign = build_campaign(cfg, i, rate);
+        let result = match &cfg.checkpoint {
+            None => campaign.run(victim(cfg.die_seed)),
+            Some((stem, resume)) => {
+                let path = sweep_checkpoint(stem, i);
+                if *resume && path.exists() {
+                    campaign
+                        .resume(&path, victim(cfg.die_seed))
+                        .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()))
+                } else {
+                    campaign
+                        .run_checkpointed(&path, victim(cfg.die_seed))
+                        .unwrap_or_else(|e| panic!("checkpoint to {}: {e}", path.display()))
+                }
+            }
+        };
+        let confidence = result.confidence_total();
         println!(
-            "rate {rate:>4}: {} success / {} degraded / {} failed over {reps} reps",
+            "rate {rate:>4}: {} success / {} degraded / {} failed / {} timed out over {} reps \
+             ({} bits repaired, {} unresolved)",
             result.count(RepStatus::Success),
             result.count(RepStatus::Degraded),
             result.count(RepStatus::Failed),
+            result.count(RepStatus::TimedOut),
+            cfg.reps,
+            confidence.repaired,
+            confidence.unresolved,
         );
         sweeps.push(Value::object(vec![
             ("fault_rate", Value::from(rate)),
@@ -58,34 +119,48 @@ fn sweep_report(die_seed: u64, fault_seed: u64, reps: u64) -> String {
     }
     Value::object(vec![
         ("bench", Value::from("campaign")),
-        ("die_seed", Value::from(die_seed)),
-        ("fault_seed", Value::from(fault_seed)),
-        ("reps_per_rate", Value::from(reps)),
+        ("die_seed", Value::from(cfg.die_seed)),
+        ("fault_seed", Value::from(cfg.fault_seed)),
+        ("reps_per_rate", Value::from(cfg.reps)),
+        ("passes", Value::from(u64::from(cfg.passes))),
         ("sweeps", Value::Array(sweeps)),
     ])
     .render_pretty()
 }
 
 /// Keys any schema-compatible report must contain; CI fails on drift.
-const SCHEMA_KEYS: [&str; 10] = [
+const SCHEMA_KEYS: [&str; 14] = [
     "\"bench\"",
     "\"fault_seed\"",
+    "\"passes\"",
     "\"sweeps\"",
     "\"fault_rate\"",
     "\"summary\"",
+    "\"timed_out\"",
+    "\"bits_repaired\"",
     "\"records\"",
+    "\"confidence\"",
     "\"telemetry\"",
     "\"counters\"",
     "\"timings\"",
     "\"clock_ns\"",
 ];
 
+/// Fixed seeds for the smoke gates: they check reproducibility and
+/// schema, not the user's environment.
+const SMOKE_SEEDS: (u64, u64) = (0x0020_22A5_B007, 0x000F_A017_C0DE);
+
 fn smoke() -> i32 {
-    // Fixed seeds: the smoke gate checks reproducibility and schema, not
-    // the user's environment.
-    let (die_seed, fault_seed, reps) = (0x0020_22A5_B007, 0x000F_A017_C0DE, 4);
-    let a = sweep_report(die_seed, fault_seed, reps);
-    let b = sweep_report(die_seed, fault_seed, reps);
+    let cfg = SweepConfig {
+        die_seed: SMOKE_SEEDS.0,
+        fault_seed: SMOKE_SEEDS.1,
+        reps: 4,
+        passes: 3,
+        deadline_ns: None,
+        checkpoint: None,
+    };
+    let a = sweep_report(&cfg);
+    let b = sweep_report(&cfg);
     if a != b {
         eprintln!("SMOKE FAIL: same-seed campaign reports differ byte-wise");
         return 1;
@@ -100,21 +175,81 @@ fn smoke() -> i32 {
     0
 }
 
+/// Kill-and-resume determinism gate: run a fixed-seed campaign to
+/// completion, then run the same campaign again but stop it after half
+/// the repetitions (simulating a kill), resume from the checkpoint, and
+/// demand the resumed report byte-match the uninterrupted one.
+fn resume_smoke() -> i32 {
+    let (die_seed, fault_seed, reps, kill_at) = (SMOKE_SEEDS.0, SMOKE_SEEDS.1, 6, 3);
+    let plan = FaultPlan::new(fault_seed, FaultRates::uniform(0.2));
+    let campaign = Campaign::new(VoltBootAttack::new("TP15").passes(3), plan, reps)
+        .retry(RetryPolicy { max_attempts: 3, initial_backoff_ns: 50_000_000 });
+
+    let uninterrupted = campaign.run(victim(die_seed)).to_json();
+
+    let path = std::env::temp_dir()
+        .join(format!("voltboot_resume_smoke_{}.checkpoint", std::process::id()));
+    if let Err(e) = campaign.run_partial(kill_at, &path, victim(die_seed)) {
+        eprintln!("RESUME SMOKE FAIL: partial run did not checkpoint: {e}");
+        return 1;
+    }
+    let resumed = match campaign.resume(&path, victim(die_seed)) {
+        Ok(result) => result.to_json(),
+        Err(e) => {
+            eprintln!("RESUME SMOKE FAIL: resume from {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let _ = std::fs::remove_file(&path);
+
+    if resumed != uninterrupted {
+        eprintln!(
+            "RESUME SMOKE FAIL: report resumed from rep {kill_at} differs from the \
+             uninterrupted run ({} vs {} bytes)",
+            resumed.len(),
+            uninterrupted.len()
+        );
+        return 1;
+    }
+    println!(
+        "resume smoke ok: killed at rep {kill_at}/{reps}, resumed report is byte-identical \
+         ({} bytes)",
+        resumed.len()
+    );
+    0
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a value")).clone())
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} needs an integer, got {v:?}")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
         std::process::exit(smoke());
     }
-    let mut reps: u64 = 100;
-    if let Some(i) = args.iter().position(|a| a == "--reps") {
-        reps = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| panic!("--reps needs an integer, got {:?}", args.get(i + 1)));
+    if args.iter().any(|a| a == "--resume-smoke") {
+        std::process::exit(resume_smoke());
     }
+    let cfg = SweepConfig {
+        die_seed: voltboot_bench::seed(),
+        fault_seed: voltboot_bench::fault_seed(),
+        reps: parsed_flag(&args, "--reps").unwrap_or(100),
+        passes: parsed_flag(&args, "--passes").unwrap_or(1),
+        deadline_ns: parsed_flag(&args, "--deadline-ns"),
+        checkpoint: flag_value(&args, "--checkpoint")
+            .map(|p| (PathBuf::from(p), args.iter().any(|a| a == "--resume"))),
+    };
 
     voltboot_bench::banner("CAMPAIGN", "attack replay under fault-rate sweeps");
-    let report = sweep_report(voltboot_bench::seed(), voltboot_bench::fault_seed(), reps);
+    let report = sweep_report(&cfg);
     std::fs::write("BENCH_campaign.json", &report).expect("write BENCH_campaign.json");
     println!("wrote BENCH_campaign.json ({} bytes)", report.len());
 }

@@ -13,8 +13,32 @@
 //!   and a Halderman-style tolerant search to show why noisy SRAM images
 //!   defeat it (bistable cells give no error direction).
 
+use crate::attack::ExtractedImage;
+use crate::recover::IntegrityError;
 use voltboot_crypto::aes::KeySchedule;
 use voltboot_sram::PackedBits;
+
+// ----------------------------------------------------------------------
+// Integrity
+// ----------------------------------------------------------------------
+
+/// Re-verifies the readout CRC of every image before analysis — the
+/// report-time half of the integrity seal
+/// ([`ExtractedImage::verify`]): any corruption that crept in between
+/// extraction and post-processing surfaces here as a typed error
+/// instead of a silently wrong table entry.
+///
+/// # Errors
+///
+/// The first [`IntegrityError::CrcMismatch`] found, naming the image.
+pub fn verify_integrity<'a>(
+    images: impl IntoIterator<Item = &'a ExtractedImage>,
+) -> Result<(), IntegrityError> {
+    for image in images {
+        image.verify()?;
+    }
+    Ok(())
+}
 
 // ----------------------------------------------------------------------
 // Hamming metrics
@@ -396,6 +420,19 @@ fn schedule_violations(words: &[u32], nk: usize) -> usize {
 mod tests {
     use super::*;
     use voltboot_crypto::aes::AesKey;
+
+    #[test]
+    fn verify_integrity_finds_the_tampered_image() {
+        let good = ExtractedImage::new("a", PackedBits::from_bytes(&[0xAA; 16]));
+        let mut bad = ExtractedImage::new("b", PackedBits::from_bytes(&[0x55; 16]));
+        bad.bits.set(0, !bad.bits.get(0));
+        assert!(verify_integrity([&good]).is_ok());
+        let err = verify_integrity([&good, &bad]).unwrap_err();
+        match err {
+            IntegrityError::CrcMismatch { ref source, .. } => assert_eq!(source, "b"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
 
     #[test]
     fn pbm_shape() {

@@ -15,10 +15,11 @@
 //! paper's Table 1.
 
 use crate::error::AttackError;
-use crate::fault::{self, StepFaults};
+use crate::fault::{self, FaultPlan, StepFaults};
+use crate::recover::{self, ConfidenceMap, IntegrityError};
 use serde::{Deserialize, Serialize};
 use voltboot_pdn::Probe;
-use voltboot_soc::debug::{RamId, RAMINDEX_BEAT_BYTES};
+use voltboot_soc::debug::RamId;
 use voltboot_soc::{BootSource, CycleFaults, PowerCycleSpec, Soc};
 use voltboot_sram::{PackedBits, Temperature};
 use voltboot_telemetry::Recorder;
@@ -77,13 +78,65 @@ pub enum Extraction {
     },
 }
 
-/// One extracted memory image.
+/// One extracted memory image, integrity-sealed at readout.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExtractedImage {
     /// Source label, e.g. `"core0.l1d.way1"`, `"core2.vregs"`, `"iram"`.
     pub source: String,
     /// The raw bits.
     pub bits: PackedBits,
+    /// CRC-64 of the bits as received at readout time
+    /// ([`recover::crc64_bits`]); [`ExtractedImage::verify`] re-checks
+    /// it, so silent corruption anywhere between extraction and
+    /// reporting surfaces as a typed [`IntegrityError`].
+    #[serde(default)]
+    pub crc64: u64,
+}
+
+impl ExtractedImage {
+    /// Builds an image and seals its readout CRC.
+    pub fn new(source: impl Into<String>, bits: PackedBits) -> Self {
+        let crc64 = recover::crc64_bits(&bits);
+        ExtractedImage { source: source.into(), bits, crc64 }
+    }
+
+    /// Re-seals the CRC after a *legitimate* in-place mutation (the
+    /// fault layer corrupting the readout models noise on the wire: the
+    /// attacker checksums what it received).
+    pub fn reseal(&mut self) {
+        self.crc64 = recover::crc64_bits(&self.bits);
+    }
+
+    /// Re-verifies the bits against the sealed CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError::CrcMismatch`] when the bits no longer hash to
+    /// the CRC sealed at readout.
+    pub fn verify(&self) -> Result<(), IntegrityError> {
+        let actual = recover::crc64_bits(&self.bits);
+        if actual == self.crc64 {
+            Ok(())
+        } else {
+            Err(IntegrityError::CrcMismatch {
+                source: self.source.clone(),
+                sealed: self.crc64,
+                actual,
+            })
+        }
+    }
+}
+
+/// Per-image confidence from a voted multi-pass readout: the sealed CRC
+/// plus the bit-level vote classification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageConfidence {
+    /// The image's source label.
+    pub source: String,
+    /// CRC-64 sealed on the resolved image.
+    pub crc64: u64,
+    /// Bit-level vote classification.
+    pub map: ConfidenceMap,
 }
 
 /// A step of the attack flow, for the outcome log.
@@ -107,6 +160,11 @@ pub struct AttackOutcome {
     pub transient_min_voltage: Option<f64>,
     /// The extracted images.
     pub images: Vec<ExtractedImage>,
+    /// Per-image vote confidence — empty on the classic single-pass
+    /// path, one entry per image (same order) on voted multi-pass
+    /// extraction.
+    #[serde(default)]
+    pub confidence: Vec<ImageConfidence>,
 }
 
 impl AttackOutcome {
@@ -121,6 +179,28 @@ impl AttackOutcome {
         fragment: &'a str,
     ) -> impl Iterator<Item = &'a ExtractedImage> {
         self.images.iter().filter(move |i| i.source.contains(fragment))
+    }
+
+    /// Re-verifies every image against the CRC sealed at readout.
+    ///
+    /// # Errors
+    ///
+    /// The first [`IntegrityError::CrcMismatch`] found, naming the
+    /// offending image.
+    pub fn verify_integrity(&self) -> Result<(), IntegrityError> {
+        for image in &self.images {
+            image.verify()?;
+        }
+        Ok(())
+    }
+
+    /// Campaign-level confidence aggregate over all images.
+    pub fn confidence_total(&self) -> ConfidenceMap {
+        let mut total = ConfidenceMap::default();
+        for c in &self.confidence {
+            total.absorb(&c.map);
+        }
+        total
     }
 }
 
@@ -177,6 +257,14 @@ pub struct VoltBootAttack {
     cycle: PowerCycleSpec,
     extraction: Extraction,
     skip_reboot: bool,
+    #[serde(default = "default_passes")]
+    passes: u32,
+}
+
+// Referenced through the `#[serde(default = ...)]` attribute only.
+#[allow(dead_code)]
+fn default_passes() -> u32 {
+    1
 }
 
 impl VoltBootAttack {
@@ -191,6 +279,7 @@ impl VoltBootAttack {
             cycle: PowerCycleSpec::quick(),
             extraction: Extraction::Caches { cores: vec![0] },
             skip_reboot: false,
+            passes: 1,
         }
     }
 
@@ -219,6 +308,31 @@ impl VoltBootAttack {
     pub fn skip_reboot(mut self, skip: bool) -> Self {
         self.skip_reboot = skip;
         self
+    }
+
+    /// Sets how many readout passes the extract step takes per unit
+    /// (cache way, register file, iRAM, …). `1` — the default — is the
+    /// classic single-shot readout, bit-identical to the pre-voting
+    /// flow. Higher counts enable voted multi-pass extraction with
+    /// selective repair: every unit is read twice and cross-checked by
+    /// CRC, and only units whose passes disagree are read again and
+    /// resolved by per-bit majority vote. The stored value is
+    /// normalized at execution time ([`VoltBootAttack::normalized_passes`]).
+    pub fn passes(mut self, passes: u32) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// The effective pass count `execute` uses: the configured value
+    /// clamped to `1..=`[`recover::MAX_PASSES`] and bumped up to odd —
+    /// an even pass count can only tie where an odd one resolves.
+    pub fn normalized_passes(&self) -> u32 {
+        let k = self.passes.clamp(1, recover::MAX_PASSES);
+        if k > 1 && k.is_multiple_of(2) {
+            k + 1
+        } else {
+            k
+        }
     }
 
     /// Runs the full attack flow against `soc`.
@@ -363,47 +477,70 @@ impl VoltBootAttack {
             });
         }
 
-        // Step 5: extract. A dropout fails the attempt; bit errors
-        // corrupt the images but let the attempt complete.
+        // Step 5: extract. Single-pass: a dropout fails the attempt and
+        // bit errors corrupt the images silently — the classic flow.
+        // Multi-pass: a dropout erases a (deterministic) subset of the
+        // passes, bit errors are voted back out, and only the attempt
+        // whose *every* pass dropped fails.
         let span = rec.span("attack.extract");
-        if faults.extraction_dropout {
-            rec.incr("attack.fault.extraction_dropout", 1);
-            rec.event("attack.fault.extraction_dropout", "debug port failed to enumerate");
-            return Err(AttackFailure {
-                error: AttackError::ExtractionDenied {
-                    detail: "debug port failed to enumerate (injected dropout)".into(),
-                },
-                steps,
-            });
-        }
-        let mut images = match self.extract(soc) {
-            Ok(i) => i,
-            Err(e) => return Err(AttackFailure { error: e, steps }),
-        };
-        rec.advance(EXTRACT_IMAGE_NS * images.len() as u64);
-        rec.incr("attack.images_extracted", images.len() as u64);
-        if faults.readout_bit_error_fraction > 0.0 {
-            let mut flipped = 0usize;
-            for (i, image) in images.iter_mut().enumerate() {
-                flipped += fault::corrupt_bits(
-                    &mut image.bits,
-                    faults.readout_bit_error_fraction,
-                    faults.readout_noise_seed.wrapping_add(i as u64),
+        let passes = self.normalized_passes();
+        let mut confidence = Vec::new();
+        let images = if passes == 1 {
+            if faults.extraction_dropout {
+                rec.incr("attack.fault.extraction_dropout", 1);
+                rec.event("attack.fault.extraction_dropout", "debug port failed to enumerate");
+                return Err(AttackFailure {
+                    error: AttackError::ExtractionDenied {
+                        detail: "debug port failed to enumerate (injected dropout)".into(),
+                    },
+                    steps,
+                });
+            }
+            let mut images = match self.extract(soc) {
+                Ok(i) => i,
+                Err(e) => return Err(AttackFailure { error: e, steps }),
+            };
+            rec.advance(EXTRACT_IMAGE_NS * images.len() as u64);
+            rec.incr("attack.images_extracted", images.len() as u64);
+            if faults.readout_bit_error_fraction > 0.0 {
+                let mut flipped = 0usize;
+                for (i, image) in images.iter_mut().enumerate() {
+                    flipped += fault::corrupt_bits(
+                        &mut image.bits,
+                        faults.readout_bit_error_fraction,
+                        faults.readout_noise_seed.wrapping_add(i as u64),
+                    );
+                    // The attacker checksums what it received — the CRC
+                    // seals the corrupted wire bytes, not the silicon.
+                    image.reseal();
+                }
+                rec.incr("attack.fault.readout_bits_flipped", flipped as u64);
+                rec.event(
+                    "attack.fault.readout_bit_error",
+                    &format!("{flipped} bits flipped across {} images", images.len()),
                 );
             }
-            rec.incr("attack.fault.readout_bits_flipped", flipped as u64);
-            rec.event(
-                "attack.fault.readout_bit_error",
-                &format!("{flipped} bits flipped across {} images", images.len()),
-            );
-        }
+            images
+        } else {
+            match self.extract_voted(soc, rec, &faults, passes) {
+                Ok((images, conf)) => {
+                    confidence = conf;
+                    images
+                }
+                Err(e) => return Err(AttackFailure { error: e, steps }),
+            }
+        };
         span.end();
         steps.push(StepRecord {
             step: "extract".into(),
-            detail: format!("{} images", images.len()),
+            detail: if passes == 1 {
+                format!("{} images", images.len())
+            } else {
+                format!("{} images over {passes} voting passes", images.len())
+            },
         });
 
-        Ok(AttackOutcome { steps, rail_held, transient_min_voltage, images })
+        Ok(AttackOutcome { steps, rail_held, transient_min_voltage, images, confidence })
     }
 
     fn extract(&self, soc: &Soc) -> Result<Vec<ExtractedImage>, AttackError> {
@@ -416,33 +553,253 @@ impl VoltBootAttack {
             Extraction::Btbs { cores } => extract_btbs(soc, cores),
         }
     }
+
+    /// Enumerates the extraction plan's readout units — the granules
+    /// (cache way, register file, iRAM, DRAM window) the voted path can
+    /// re-read independently — in exactly the order
+    /// [`VoltBootAttack::extract`] emits images.
+    fn units(&self, soc: &Soc) -> Result<Vec<UnitSpec>, AttackError> {
+        let mut units = Vec::new();
+        match &self.extraction {
+            Extraction::Caches { cores } => {
+                for &core in cores {
+                    let c = soc.core(core).map_err(|_| bad_core(core))?;
+                    for (label, ram, geometry) in [
+                        ("l1d", RamId::L1DData, c.l1d.geometry()),
+                        ("l1i", RamId::L1IData, c.l1i.geometry()),
+                    ] {
+                        for way in 0..geometry.ways {
+                            units.push(UnitSpec {
+                                source: format!("core{core}.{label}.way{way}"),
+                                kind: UnitKind::Ram { core, ram, way: way as u8 },
+                            });
+                        }
+                    }
+                }
+            }
+            Extraction::Registers { cores } => {
+                for &core in cores {
+                    soc.core(core).map_err(|_| bad_core(core))?;
+                    units.push(UnitSpec {
+                        source: format!("core{core}.vregs"),
+                        kind: UnitKind::Registers { core },
+                    });
+                }
+            }
+            Extraction::IramJtag => {
+                units.push(UnitSpec { source: "iram".into(), kind: UnitKind::Iram });
+            }
+            Extraction::DramRaw { addr, len } => {
+                units.push(UnitSpec {
+                    source: format!("dram@{addr:#x}"),
+                    kind: UnitKind::DramRaw { addr: *addr, len: *len },
+                });
+            }
+            Extraction::Tlbs { cores } => {
+                for &core in cores {
+                    soc.core(core).map_err(|_| bad_core(core))?;
+                    units.push(UnitSpec {
+                        source: format!("core{core}.tlb"),
+                        kind: UnitKind::Ram { core, ram: RamId::Tlb, way: 0 },
+                    });
+                }
+            }
+            Extraction::Btbs { cores } => {
+                for &core in cores {
+                    soc.core(core).map_err(|_| bad_core(core))?;
+                    units.push(UnitSpec {
+                        source: format!("core{core}.btb"),
+                        kind: UnitKind::Ram { core, ram: RamId::Btb, way: 0 },
+                    });
+                }
+            }
+        }
+        Ok(units)
+    }
+
+    /// The voted multi-pass readout: cross-check every unit over its
+    /// first two surviving passes, selectively re-read only the units
+    /// whose CRCs disagree, and resolve disagreements by per-bit
+    /// majority vote ([`recover::vote`]) with dropped passes as
+    /// erasures.
+    fn extract_voted(
+        &self,
+        soc: &Soc,
+        rec: &Recorder,
+        faults: &StepFaults,
+        passes: u32,
+    ) -> Result<(Vec<ExtractedImage>, Vec<ImageConfidence>), AttackError> {
+        // Which passes a firing dropout erases, decided up front: the
+        // port's flakiness is a property of the attempt, not of the
+        // read order.
+        let erased: Vec<bool> = (0..passes)
+            .map(|p| faults.extraction_dropout && FaultPlan::pass_erased(faults.dropout_seed, p))
+            .collect();
+        let available: Vec<u32> = (0..passes).filter(|&p| !erased[p as usize]).collect();
+        if faults.extraction_dropout {
+            let dropped = passes as u64 - available.len() as u64;
+            rec.incr("attack.fault.extraction_dropout", 1);
+            rec.incr("attack.repair.passes_erased", dropped);
+            rec.event(
+                "attack.fault.extraction_dropout",
+                &format!("flaky debug port: {dropped} of {passes} passes dropped"),
+            );
+        }
+        if available.is_empty() {
+            return Err(AttackError::ExtractionDenied {
+                detail: format!(
+                    "debug port dropped all {passes} readout passes (injected dropout)"
+                ),
+            });
+        }
+
+        // One read of `unit` on pass `p`, with that pass's wire noise.
+        let read_pass =
+            |u: usize, unit: &UnitSpec, p: u32| -> Result<(PackedBits, usize), AttackError> {
+                let mut bits = read_unit(soc, unit)?;
+                rec.advance(EXTRACT_IMAGE_NS);
+                let mut flipped = 0;
+                if faults.readout_bit_error_fraction > 0.0 {
+                    flipped = fault::corrupt_bits(
+                        &mut bits,
+                        faults.readout_bit_error_fraction,
+                        faults
+                            .readout_noise_seed
+                            .wrapping_add(u as u64)
+                            .wrapping_add(u64::from(p).wrapping_mul(PASS_NOISE_STRIDE)),
+                    );
+                }
+                Ok((bits, flipped))
+            };
+
+        let units = self.units(soc)?;
+        let mut images = Vec::with_capacity(units.len());
+        let mut confidence = Vec::with_capacity(units.len());
+        let mut unit_reads = 0u64;
+        let mut units_flagged = 0u64;
+        let mut flipped_total = 0usize;
+        let mut repaired_total = 0u64;
+        let mut unresolved_total = 0u64;
+        for (u, unit) in units.iter().enumerate() {
+            // Passes aligned to their pass index; `None` is an erasure
+            // (dropped pass) or a read selective repair skipped.
+            let mut pass_bits: Vec<Option<PackedBits>> = vec![None; passes as usize];
+            for &p in available.iter().take(2) {
+                let (bits, flipped) = read_pass(u, unit, p)?;
+                unit_reads += 1;
+                flipped_total += flipped;
+                pass_bits[p as usize] = Some(bits);
+            }
+            // Integrity cross-check: two clean reads of retained SRAM
+            // hash identically; a mismatch flags the unit for repair.
+            let agree = match available.get(1) {
+                Some(&b) => {
+                    let first = pass_bits[available[0] as usize].as_ref().expect("read above");
+                    let second = pass_bits[b as usize].as_ref().expect("read above");
+                    recover::crc64_bits(first) == recover::crc64_bits(second)
+                }
+                None => true,
+            };
+            if !agree {
+                units_flagged += 1;
+                for &p in available.iter().skip(2) {
+                    let (bits, flipped) = read_pass(u, unit, p)?;
+                    unit_reads += 1;
+                    flipped_total += flipped;
+                    pass_bits[p as usize] = Some(bits);
+                }
+            }
+            let refs: Vec<Option<&PackedBits>> = pass_bits.iter().map(Option::as_ref).collect();
+            let (resolved, map) = recover::vote(&refs).map_err(AttackError::from)?;
+            repaired_total += map.repaired;
+            unresolved_total += map.unresolved;
+            let image = ExtractedImage::new(unit.source.clone(), resolved);
+            confidence.push(ImageConfidence {
+                source: image.source.clone(),
+                crc64: image.crc64,
+                map,
+            });
+            images.push(image);
+        }
+
+        rec.incr("attack.images_extracted", images.len() as u64);
+        rec.incr("attack.repair.unit_reads", unit_reads);
+        rec.incr("attack.repair.units_flagged", units_flagged);
+        rec.incr("attack.repair.bits_repaired", repaired_total);
+        rec.incr("attack.repair.bits_unresolved", unresolved_total);
+        if faults.readout_bit_error_fraction > 0.0 {
+            rec.incr("attack.fault.readout_bits_flipped", flipped_total as u64);
+            rec.event(
+                "attack.fault.readout_bit_error",
+                &format!("{flipped_total} bits flipped across {unit_reads} unit reads"),
+            );
+        }
+        Ok((images, confidence))
+    }
+}
+
+/// Per-pass stride mixed into the readout noise seed so repeated passes
+/// of the same unit see independent wire noise; pass 0 reproduces the
+/// single-pass seed exactly.
+pub const PASS_NOISE_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn bad_core(core: usize) -> AttackError {
+    AttackError::BadConfiguration { detail: format!("core {core} does not exist") }
+}
+
+/// One independently re-readable granule of an extraction plan.
+struct UnitSpec {
+    source: String,
+    kind: UnitKind,
+}
+
+enum UnitKind {
+    Ram { core: usize, ram: RamId, way: u8 },
+    Registers { core: usize },
+    Iram,
+    DramRaw { addr: u64, len: usize },
+}
+
+/// Reads one unit's current bits through the same debug paths the
+/// whole-plan extractors use.
+fn read_unit(soc: &Soc, unit: &UnitSpec) -> Result<PackedBits, AttackError> {
+    Ok(match unit.kind {
+        UnitKind::Ram { core, ram, way } => {
+            PackedBits::from_bytes(&soc.ramindex_unit(core, ram, way, false)?)
+        }
+        UnitKind::Registers { core } => {
+            soc.core(core).map_err(|_| bad_core(core))?.vregs.image().map_err(AttackError::from)?
+        }
+        UnitKind::Iram => {
+            let iram = soc
+                .iram()
+                .ok_or(AttackError::BadConfiguration { detail: "device has no iram".into() })?;
+            PackedBits::from_bytes(&soc.jtag_read(iram.base(), iram.len())?)
+        }
+        UnitKind::DramRaw { addr, len } => {
+            PackedBits::from_bytes(soc.dram().raw_cells(addr, len).map_err(AttackError::from)?)
+        }
+    })
 }
 
 /// Reads every way of both L1 caches of the given cores through the
-/// `RAMINDEX` debug path, beat by beat, exactly as the EL3 extraction
-/// image does (request → `DSB SY` → `ISB` → four data registers).
+/// `RAMINDEX` debug path — the whole-way read
+/// ([`voltboot_soc::Soc::ramindex_unit`]) issues every beat in order,
+/// exactly as the EL3 extraction image does (request → `DSB SY` → `ISB`
+/// → four data registers).
 pub fn extract_caches(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
     let mut images = Vec::new();
     for &core in cores {
-        let c = soc.core(core).map_err(|_| AttackError::BadConfiguration {
-            detail: format!("core {core} does not exist"),
-        })?;
+        let c = soc.core(core).map_err(|_| bad_core(core))?;
         for (label, ram, geometry) in
             [("l1d", RamId::L1DData, c.l1d.geometry()), ("l1i", RamId::L1IData, c.l1i.geometry())]
         {
-            let beats_per_way = geometry.sets() * geometry.line_bytes / RAMINDEX_BEAT_BYTES;
             for way in 0..geometry.ways {
-                let mut bytes = Vec::with_capacity(geometry.sets() * geometry.line_bytes);
-                for beat in 0..beats_per_way {
-                    let words = soc.ramindex(core, ram, way as u8, beat as u32, false)?;
-                    for w in words {
-                        bytes.extend_from_slice(&w.to_le_bytes());
-                    }
-                }
-                images.push(ExtractedImage {
-                    source: format!("core{core}.{label}.way{way}"),
-                    bits: PackedBits::from_bytes(&bytes),
-                });
+                let bytes = soc.ramindex_unit(core, ram, way as u8, false)?;
+                images.push(ExtractedImage::new(
+                    format!("core{core}.{label}.way{way}"),
+                    PackedBits::from_bytes(&bytes),
+                ));
             }
         }
     }
@@ -453,11 +810,9 @@ pub fn extract_caches(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>,
 pub fn extract_registers(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
     let mut images = Vec::new();
     for &core in cores {
-        let c = soc.core(core).map_err(|_| AttackError::BadConfiguration {
-            detail: format!("core {core} does not exist"),
-        })?;
+        let c = soc.core(core).map_err(|_| bad_core(core))?;
         let image = c.vregs.image().map_err(AttackError::from)?;
-        images.push(ExtractedImage { source: format!("core{core}.vregs"), bits: image });
+        images.push(ExtractedImage::new(format!("core{core}.vregs"), image));
     }
     Ok(images)
 }
@@ -468,7 +823,7 @@ pub fn extract_iram(soc: &Soc) -> Result<Vec<ExtractedImage>, AttackError> {
     let iram =
         soc.iram().ok_or(AttackError::BadConfiguration { detail: "device has no iram".into() })?;
     let bytes = soc.jtag_read(iram.base(), iram.len())?;
-    Ok(vec![ExtractedImage { source: "iram".into(), bits: PackedBits::from_bytes(&bytes) }])
+    Ok(vec![ExtractedImage::new("iram", PackedBits::from_bytes(&bytes))])
 }
 
 /// Reads the main TLB entry RAM of each listed core through `RAMINDEX`,
@@ -476,18 +831,9 @@ pub fn extract_iram(soc: &Soc) -> Result<Vec<ExtractedImage>, AttackError> {
 pub fn extract_tlbs(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
     let mut images = Vec::new();
     for &core in cores {
-        soc.core(core).map_err(|_| AttackError::BadConfiguration {
-            detail: format!("core {core} does not exist"),
-        })?;
-        let mut bytes = Vec::with_capacity(voltboot_soc::tlb::TLB_ENTRIES * 8);
-        for entry in 0..voltboot_soc::tlb::TLB_ENTRIES {
-            let words = soc.ramindex(core, RamId::Tlb, 0, entry as u32, false)?;
-            bytes.extend_from_slice(&words[0].to_le_bytes());
-        }
-        images.push(ExtractedImage {
-            source: format!("core{core}.tlb"),
-            bits: PackedBits::from_bytes(&bytes),
-        });
+        soc.core(core).map_err(|_| bad_core(core))?;
+        let bytes = soc.ramindex_unit(core, RamId::Tlb, 0, false)?;
+        images.push(ExtractedImage::new(format!("core{core}.tlb"), PackedBits::from_bytes(&bytes)));
     }
     Ok(images)
 }
@@ -496,18 +842,9 @@ pub fn extract_tlbs(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, A
 pub fn extract_btbs(soc: &Soc, cores: &[usize]) -> Result<Vec<ExtractedImage>, AttackError> {
     let mut images = Vec::new();
     for &core in cores {
-        soc.core(core).map_err(|_| AttackError::BadConfiguration {
-            detail: format!("core {core} does not exist"),
-        })?;
-        let mut bytes = Vec::with_capacity(voltboot_soc::btb::BTB_ENTRIES * 8);
-        for entry in 0..voltboot_soc::btb::BTB_ENTRIES {
-            let words = soc.ramindex(core, RamId::Btb, 0, entry as u32, false)?;
-            bytes.extend_from_slice(&words[0].to_le_bytes());
-        }
-        images.push(ExtractedImage {
-            source: format!("core{core}.btb"),
-            bits: PackedBits::from_bytes(&bytes),
-        });
+        soc.core(core).map_err(|_| bad_core(core))?;
+        let bytes = soc.ramindex_unit(core, RamId::Btb, 0, false)?;
+        images.push(ExtractedImage::new(format!("core{core}.btb"), PackedBits::from_bytes(&bytes)));
     }
     Ok(images)
 }
@@ -554,10 +891,7 @@ pub fn extract_dram_raw(
     len: usize,
 ) -> Result<Vec<ExtractedImage>, AttackError> {
     let bytes = soc.dram().raw_cells(addr, len).map_err(AttackError::from)?.to_vec();
-    Ok(vec![ExtractedImage {
-        source: format!("dram@{addr:#x}"),
-        bits: PackedBits::from_bytes(&bytes),
-    }])
+    Ok(vec![ExtractedImage::new(format!("dram@{addr:#x}"), PackedBits::from_bytes(&bytes))])
 }
 
 /// A placeholder extraction image: the attacker's USB payload. Its
@@ -632,13 +966,20 @@ impl ColdBootAttack {
             cycle: PowerCycleSpec::quick(),
             extraction: self.extraction.clone(),
             skip_reboot: true,
+            passes: 1,
         };
         let images = attack.extract(soc)?;
         steps.push(StepRecord {
             step: "extract".into(),
             detail: format!("{} images", images.len()),
         });
-        Ok(AttackOutcome { steps, rail_held: false, transient_min_voltage: None, images })
+        Ok(AttackOutcome {
+            steps,
+            rail_held: false,
+            transient_min_voltage: None,
+            images,
+            confidence: Vec::new(),
+        })
     }
 }
 
@@ -829,5 +1170,108 @@ mod tests {
             .execute(&mut soc)
             .unwrap_err();
         assert!(matches!(err, AttackError::BadConfiguration { .. }));
+    }
+
+    #[test]
+    fn passes_are_normalized_to_odd_in_range() {
+        let a = VoltBootAttack::new("TP15");
+        assert_eq!(a.clone().passes(0).normalized_passes(), 1);
+        assert_eq!(a.clone().passes(1).normalized_passes(), 1);
+        assert_eq!(a.clone().passes(2).normalized_passes(), 3);
+        assert_eq!(a.clone().passes(3).normalized_passes(), 3);
+        assert_eq!(a.clone().passes(14).normalized_passes(), 15);
+        assert_eq!(a.passes(99).normalized_passes(), 15);
+    }
+
+    #[test]
+    fn quiescent_multi_pass_is_bit_identical_to_single_pass() {
+        let single = VoltBootAttack::new("TP15").execute(&mut prepared_pi4()).unwrap();
+        let voted = VoltBootAttack::new("TP15").passes(3).execute(&mut prepared_pi4()).unwrap();
+        assert_eq!(single.images, voted.images, "no faults: voting must change nothing");
+        assert!(single.confidence.is_empty(), "single-pass carries no vote confidence");
+        assert_eq!(voted.confidence.len(), voted.images.len());
+        for c in &voted.confidence {
+            assert_eq!(c.map.unanimous, c.map.total_bits, "clean reads agree everywhere");
+            assert_eq!(c.map.votes, 2, "a clean cross-check stops after two passes");
+        }
+    }
+
+    #[test]
+    fn voting_repairs_readout_bit_errors() {
+        let noisy = |passes: u32| {
+            let mut soc = prepared_pi4();
+            let before = soc.core(0).unwrap().l1i.way_image(0).unwrap();
+            let ctx = AttackContext {
+                recorder: Recorder::new(),
+                faults: StepFaults {
+                    readout_bit_error_fraction: fault::READOUT_ERROR_FRACTION,
+                    readout_noise_seed: 0xBEEF,
+                    ..StepFaults::none()
+                },
+            };
+            let out =
+                VoltBootAttack::new("TP15").passes(passes).execute_in(&mut soc, &ctx).unwrap();
+            (out, before)
+        };
+        let (single, before) = noisy(1);
+        let (voted, _) = noisy(3);
+        let err1 = single.image("core0.l1i.way0").unwrap().bits.fractional_hamming(&before);
+        let err3 = voted.image("core0.l1i.way0").unwrap().bits.fractional_hamming(&before);
+        assert!(err1 > 0.0, "single-pass wire noise must corrupt bits");
+        assert!(err3 < err1, "3-pass voting must strictly reduce errors: {err3} vs {err1}");
+        let total = voted.confidence_total();
+        assert!(total.repaired > 0, "disagreeing passes must repair bits");
+        assert_eq!(
+            total.unanimous + total.repaired + total.unresolved,
+            total.total_bits,
+            "every bit is classified exactly once"
+        );
+    }
+
+    #[test]
+    fn flaky_port_survives_multi_pass_but_kills_single_pass() {
+        // A dropout seed that erases some but not all of 5 passes.
+        let seed = (1u64..)
+            .find(|&s| {
+                let alive = (0..5).filter(|&p| !FaultPlan::pass_erased(s, p)).count();
+                (1..5).contains(&alive)
+            })
+            .unwrap();
+        let faults =
+            StepFaults { extraction_dropout: true, dropout_seed: seed, ..StepFaults::none() };
+        let ctx = AttackContext { recorder: Recorder::new(), faults };
+        let err = VoltBootAttack::new("TP15").execute_in(&mut prepared_pi4(), &ctx).unwrap_err();
+        assert!(matches!(err.error, AttackError::ExtractionDenied { .. }));
+        let out =
+            VoltBootAttack::new("TP15").passes(5).execute_in(&mut prepared_pi4(), &ctx).unwrap();
+        assert!(!out.images.is_empty(), "surviving passes still yield images");
+        assert!(out.confidence.iter().all(|c| c.map.votes >= 1));
+    }
+
+    #[test]
+    fn all_passes_erased_denies_extraction() {
+        let seed = (1u64..).find(|&s| (0..3).all(|p| FaultPlan::pass_erased(s, p))).unwrap();
+        let faults =
+            StepFaults { extraction_dropout: true, dropout_seed: seed, ..StepFaults::none() };
+        let ctx = AttackContext { recorder: Recorder::new(), faults };
+        let err = VoltBootAttack::new("TP15")
+            .passes(3)
+            .execute_in(&mut prepared_pi4(), &ctx)
+            .unwrap_err();
+        assert!(matches!(err.error, AttackError::ExtractionDenied { .. }));
+        assert_eq!(err.steps.len(), 4, "all pre-extract steps completed");
+    }
+
+    #[test]
+    fn outcome_integrity_checks_catch_tampering() {
+        let mut outcome = VoltBootAttack::new("TP15").execute(&mut prepared_pi4()).unwrap();
+        outcome.verify_integrity().unwrap();
+        let victim = &mut outcome.images[0];
+        let flipped = !victim.bits.get(3);
+        victim.bits.set(3, flipped);
+        assert!(matches!(
+            outcome.verify_integrity().unwrap_err(),
+            IntegrityError::CrcMismatch { .. }
+        ));
     }
 }

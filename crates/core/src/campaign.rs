@@ -10,14 +10,25 @@
 //! (virtual-clock) backoff, and an exhausted repetition records a
 //! *partial* outcome — the campaign never panics and never aborts early.
 //!
+//! Long campaigns can **checkpoint** after every repetition
+//! ([`Campaign::run_checkpointed`]) and **resume** from where they were
+//! killed ([`Campaign::resume`]): because the fault plan is counter-mode
+//! and the telemetry clock is virtual, a resumed campaign's final report
+//! is *byte-identical* to the uninterrupted run's. A per-repetition
+//! virtual-clock deadline ([`Campaign::deadline_ns`]) bounds how long a
+//! repetition may keep retrying before it records
+//! [`RepStatus::TimedOut`].
+//!
 //! Everything the run produces — per-step timings, fault counters, the
 //! per-rep records — exports as hand-rolled JSON that is byte-identical
 //! across runs with the same seeds.
 
 use crate::attack::{AttackContext, VoltBootAttack};
 use crate::fault::FaultPlan;
+use crate::recover::{self, ConfidenceMap};
+use std::path::Path;
 use voltboot_soc::Soc;
-use voltboot_telemetry::{json, Recorder};
+use voltboot_telemetry::{json, parse, Recorder};
 
 /// Retry behaviour for failed attack attempts within one repetition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +45,18 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// The virtual backoff after failed attempt `attempt` (0-based):
+    /// `initial_backoff_ns * 2^attempt`, saturating at `u64::MAX`
+    /// instead of overflowing once the shift passes 63 — a
+    /// `max_attempts` beyond 64 is unusual but must not panic the
+    /// campaign.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.initial_backoff_ns.saturating_mul(factor)
+    }
+}
+
 /// How one repetition ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepStatus {
@@ -46,6 +69,10 @@ pub enum RepStatus {
     /// Every attempt failed; the record holds the partial outcome of the
     /// last attempt.
     Failed,
+    /// Retries pushed the repetition past the campaign's per-rep
+    /// virtual-clock deadline; the record holds the partial outcome of
+    /// the last attempt tried.
+    TimedOut,
 }
 
 impl RepStatus {
@@ -54,7 +81,18 @@ impl RepStatus {
             RepStatus::Success => "success",
             RepStatus::Degraded => "degraded",
             RepStatus::Failed => "failed",
+            RepStatus::TimedOut => "timed_out",
         }
+    }
+
+    fn parse(s: &str) -> Option<RepStatus> {
+        Some(match s {
+            "success" => RepStatus::Success,
+            "degraded" => RepStatus::Degraded,
+            "failed" => RepStatus::Failed,
+            "timed_out" => RepStatus::TimedOut,
+            _ => return None,
+        })
     }
 }
 
@@ -78,6 +116,300 @@ pub struct RepRecord {
     pub steps_completed: usize,
     /// The last attempt's error, when the repetition failed.
     pub error: Option<String>,
+    /// Aggregate vote confidence across the winning attempt's images
+    /// (all zeros on single-pass runs and on failures).
+    pub confidence: ConfidenceMap,
+}
+
+impl RepRecord {
+    /// The record as a deterministic JSON object — the exact shape the
+    /// campaign report and the checkpoint file both embed.
+    pub fn to_value(&self) -> json::Value {
+        json::Value::object(vec![
+            ("rep", json::Value::from(self.rep)),
+            ("attempts", json::Value::from(u64::from(self.attempts))),
+            ("status", json::Value::from(self.status.as_str())),
+            ("rail_held", json::Value::from(self.rail_held)),
+            ("images", json::Value::from(self.images)),
+            (
+                "faults_fired",
+                json::Value::Array(
+                    self.faults_fired.iter().map(|f| json::Value::from(f.as_str())).collect(),
+                ),
+            ),
+            ("steps_completed", json::Value::from(self.steps_completed)),
+            ("error", self.error.as_deref().map(json::Value::from).unwrap_or(json::Value::Null)),
+            (
+                "confidence",
+                json::Value::object(vec![
+                    ("total_bits", json::Value::from(self.confidence.total_bits)),
+                    ("unanimous", json::Value::from(self.confidence.unanimous)),
+                    ("repaired", json::Value::from(self.confidence.repaired)),
+                    ("unresolved", json::Value::from(self.confidence.unresolved)),
+                    ("votes", json::Value::from(u64::from(self.confidence.votes))),
+                ]),
+            ),
+        ])
+    }
+
+    /// Rebuilds a record from [`RepRecord::to_value`] output (the
+    /// checkpoint-load path).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Corrupt`] naming the missing or mistyped field.
+    pub fn from_value(v: &json::Value) -> Result<RepRecord, CampaignError> {
+        let field = |k: &str| {
+            v.get(k).and_then(json::Value::as_u64).ok_or_else(|| CampaignError::Corrupt {
+                detail: format!("record field {k} must be a u64"),
+            })
+        };
+        let status_str = v.get("status").and_then(json::Value::as_str).ok_or_else(|| {
+            CampaignError::Corrupt { detail: "record field status must be a string".into() }
+        })?;
+        let status = RepStatus::parse(status_str).ok_or_else(|| CampaignError::Corrupt {
+            detail: format!("unknown rep status {status_str:?}"),
+        })?;
+        let mut faults_fired = Vec::new();
+        for f in v.get("faults_fired").and_then(json::Value::as_array).ok_or_else(|| {
+            CampaignError::Corrupt { detail: "record field faults_fired must be an array".into() }
+        })? {
+            faults_fired.push(
+                f.as_str()
+                    .ok_or_else(|| CampaignError::Corrupt {
+                        detail: "faults_fired entries must be strings".into(),
+                    })?
+                    .to_string(),
+            );
+        }
+        let error = match v.get("error") {
+            Some(json::Value::Null) | None => None,
+            Some(e) => Some(
+                e.as_str()
+                    .ok_or_else(|| CampaignError::Corrupt {
+                        detail: "record field error must be a string or null".into(),
+                    })?
+                    .to_string(),
+            ),
+        };
+        let conf = v.get("confidence").ok_or_else(|| CampaignError::Corrupt {
+            detail: "record missing confidence object".into(),
+        })?;
+        let conf_field = |k: &str| {
+            conf.get(k).and_then(json::Value::as_u64).ok_or_else(|| CampaignError::Corrupt {
+                detail: format!("confidence field {k} must be a u64"),
+            })
+        };
+        let confidence = ConfidenceMap {
+            total_bits: conf_field("total_bits")?,
+            unanimous: conf_field("unanimous")?,
+            repaired: conf_field("repaired")?,
+            unresolved: conf_field("unresolved")?,
+            votes: conf_field("votes")? as u32,
+        };
+        let rail_held = v.get("rail_held").and_then(json::Value::as_bool).ok_or_else(|| {
+            CampaignError::Corrupt { detail: "record field rail_held must be a bool".into() }
+        })?;
+        Ok(RepRecord {
+            rep: field("rep")?,
+            attempts: field("attempts")? as u32,
+            status,
+            rail_held,
+            images: field("images")? as usize,
+            faults_fired,
+            steps_completed: field("steps_completed")? as usize,
+            error,
+            confidence,
+        })
+    }
+}
+
+/// Why a checkpoint could not be written, loaded, or resumed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The checkpoint file failed parsing, checksum, or structural
+    /// validation.
+    Corrupt {
+        /// What is wrong with the file.
+        detail: String,
+    },
+    /// The checkpoint belongs to a different campaign configuration.
+    Mismatch {
+        /// Which parameter disagrees.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CampaignError::Corrupt { detail } => write!(f, "corrupt checkpoint: {detail}"),
+            CampaignError::Mismatch { detail } => {
+                write!(f, "checkpoint does not match this campaign: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+impl From<parse::ParseError> for CampaignError {
+    fn from(e: parse::ParseError) -> Self {
+        CampaignError::Corrupt { detail: e.to_string() }
+    }
+}
+
+/// Checkpoint schema version [`Checkpoint::to_json`] writes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A campaign checkpoint: everything a resumed run needs to continue
+/// from repetition `next_rep` and still produce a final report that is
+/// byte-identical to the uninterrupted run's — the completed records,
+/// the full telemetry state (virtual clock included), and the identity
+/// of the fault plan. The rendered file carries a CRC-64 over its
+/// payload; loading re-verifies it.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Seed of the fault plan that produced the records (validated on
+    /// resume; the counter-mode plan needs no other state).
+    pub fault_seed: u64,
+    /// Total repetitions of the checkpointed campaign.
+    pub reps: u64,
+    /// First repetition the resumed run must execute.
+    pub next_rep: u64,
+    /// Records of the completed repetitions, in order.
+    pub records: Vec<RepRecord>,
+    /// The run's telemetry at the checkpoint.
+    pub recorder: Recorder,
+}
+
+impl Checkpoint {
+    fn payload_value(&self) -> json::Value {
+        json::Value::object(vec![
+            ("voltboot_checkpoint", json::Value::from(CHECKPOINT_VERSION)),
+            ("fault_seed", json::Value::from(self.fault_seed)),
+            ("reps", json::Value::from(self.reps)),
+            ("next_rep", json::Value::from(self.next_rep)),
+            ("records", json::Value::Array(self.records.iter().map(RepRecord::to_value).collect())),
+            ("recorder", self.recorder.to_value()),
+        ])
+    }
+
+    /// Renders the checkpoint, sealing a CRC-64 over the payload's
+    /// compact rendering as the trailing `crc64` key.
+    pub fn to_json(&self) -> String {
+        let payload = self.payload_value();
+        let crc = recover::crc64(payload.render().as_bytes());
+        let json::Value::Object(mut pairs) = payload else { unreachable!("payload is an object") };
+        pairs.push(("crc64".to_string(), json::Value::from(crc)));
+        json::Value::Object(pairs).render_pretty()
+    }
+
+    /// Parses and verifies a checkpoint rendered by
+    /// [`Checkpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Corrupt`] on a parse failure, checksum mismatch,
+    /// unknown version, or structural problem.
+    pub fn from_json(input: &str) -> Result<Checkpoint, CampaignError> {
+        let v = parse::parse(input)?;
+        let pairs = v.as_object().ok_or_else(|| CampaignError::Corrupt {
+            detail: "checkpoint must be a JSON object".into(),
+        })?;
+        let mut payload_pairs = Vec::new();
+        let mut sealed = None;
+        for (k, val) in pairs {
+            if k == "crc64" {
+                sealed = val.as_u64();
+            } else {
+                payload_pairs.push((k.clone(), val.clone()));
+            }
+        }
+        let sealed = sealed.ok_or_else(|| CampaignError::Corrupt {
+            detail: "checkpoint missing its crc64 seal".into(),
+        })?;
+        let payload = json::Value::Object(payload_pairs);
+        let actual = recover::crc64(payload.render().as_bytes());
+        if actual != sealed {
+            return Err(CampaignError::Corrupt {
+                detail: format!(
+                    "checksum mismatch: sealed {sealed:#018x}, payload hashes to {actual:#018x}"
+                ),
+            });
+        }
+        let field = |k: &str| {
+            payload.get(k).and_then(json::Value::as_u64).ok_or_else(|| CampaignError::Corrupt {
+                detail: format!("checkpoint field {k} must be a u64"),
+            })
+        };
+        let version = field("voltboot_checkpoint")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CampaignError::Corrupt {
+                detail: format!("unsupported checkpoint version {version}"),
+            });
+        }
+        let mut records = Vec::new();
+        for r in payload.get("records").and_then(json::Value::as_array).ok_or_else(|| {
+            CampaignError::Corrupt { detail: "checkpoint records must be an array".into() }
+        })? {
+            records.push(RepRecord::from_value(r)?);
+        }
+        let next_rep = field("next_rep")?;
+        if next_rep != records.len() as u64 {
+            return Err(CampaignError::Corrupt {
+                detail: format!(
+                    "next_rep {next_rep} disagrees with {} stored records",
+                    records.len()
+                ),
+            });
+        }
+        let recorder = Recorder::from_value(payload.get("recorder").ok_or_else(|| {
+            CampaignError::Corrupt { detail: "checkpoint missing recorder state".into() }
+        })?)?;
+        Ok(Checkpoint {
+            fault_seed: field("fault_seed")?,
+            reps: field("reps")?,
+            next_rep,
+            records,
+            recorder,
+        })
+    }
+
+    /// Writes the checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] when the write fails.
+    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
+        std::fs::write(path, self.to_json()).map_err(CampaignError::Io)
+    }
+
+    /// Loads and verifies a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] when the read fails; the
+    /// [`Checkpoint::from_json`] classes otherwise.
+    pub fn load(path: &Path) -> Result<Checkpoint, CampaignError> {
+        Checkpoint::from_json(&std::fs::read_to_string(path).map_err(CampaignError::Io)?)
+    }
 }
 
 /// A campaign: one attack, one fault plan, N repetitions.
@@ -87,17 +419,27 @@ pub struct Campaign {
     plan: FaultPlan,
     reps: u64,
     retry: RetryPolicy,
+    deadline_ns: Option<u64>,
 }
 
 impl Campaign {
     /// Creates a campaign running `attack` `reps` times under `plan`.
     pub fn new(attack: VoltBootAttack, plan: FaultPlan, reps: u64) -> Self {
-        Campaign { attack, plan, reps, retry: RetryPolicy::default() }
+        Campaign { attack, plan, reps, retry: RetryPolicy::default(), deadline_ns: None }
     }
 
     /// Overrides the retry policy (builder style).
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets a per-repetition virtual-clock deadline: once a repetition's
+    /// retries (attack time plus backoff) push its elapsed virtual time
+    /// past `ns`, it stops retrying and records [`RepStatus::TimedOut`]
+    /// with the last attempt's partial outcome.
+    pub fn deadline_ns(mut self, ns: u64) -> Self {
+        self.deadline_ns = Some(ns);
         self
     }
 
@@ -108,77 +450,198 @@ impl Campaign {
     ///
     /// Never panics on attempt failures: a repetition whose attempts are
     /// exhausted records a partial outcome and the campaign moves on.
-    pub fn run(&self, mut victim: impl FnMut(u64) -> Soc) -> CampaignResult {
-        let rec = Recorder::new();
+    pub fn run(&self, victim: impl FnMut(u64) -> Soc) -> CampaignResult {
+        self.run_range(0, self.reps, Vec::new(), Recorder::new(), None, victim)
+            .expect("no checkpoint configured, no i/o to fail")
+    }
+
+    /// [`Campaign::run`], writing a [`Checkpoint`] to `path` after every
+    /// completed repetition, so a killed campaign can
+    /// [`Campaign::resume`] without losing (or re-running) finished reps.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] when a checkpoint write fails.
+    pub fn run_checkpointed(
+        &self,
+        path: impl AsRef<Path>,
+        victim: impl FnMut(u64) -> Soc,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.run_range(0, self.reps, Vec::new(), Recorder::new(), Some(path.as_ref()), victim)
+    }
+
+    /// Resumes a campaign from the checkpoint at `path` and runs it to
+    /// completion (checkpointing onward as it goes). The resumed run's
+    /// final report is byte-identical to what the uninterrupted run
+    /// would have produced: the fault plan is counter-mode (no stream
+    /// state to lose) and the checkpoint restores the full telemetry
+    /// state including the virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Mismatch`] when the checkpoint's seed or rep
+    /// count disagrees with this campaign; [`CampaignError::Corrupt`] /
+    /// [`CampaignError::Io`] for unloadable checkpoints.
+    pub fn resume(
+        &self,
+        path: impl AsRef<Path>,
+        victim: impl FnMut(u64) -> Soc,
+    ) -> Result<CampaignResult, CampaignError> {
+        let cp = Checkpoint::load(path.as_ref())?;
+        if cp.fault_seed != self.plan.seed() {
+            return Err(CampaignError::Mismatch {
+                detail: format!(
+                    "fault seed {} in checkpoint, {} in campaign",
+                    cp.fault_seed,
+                    self.plan.seed()
+                ),
+            });
+        }
+        if cp.reps != self.reps {
+            return Err(CampaignError::Mismatch {
+                detail: format!("{} reps in checkpoint, {} in campaign", cp.reps, self.reps),
+            });
+        }
+        self.run_range(cp.next_rep, self.reps, cp.records, cp.recorder, Some(path.as_ref()), victim)
+    }
+
+    /// Runs only repetitions `0..upto` and leaves the checkpoint behind
+    /// — an interrupted campaign in miniature, for tests and the CI
+    /// resume-determinism smoke check.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] when a checkpoint write fails.
+    pub fn run_partial(
+        &self,
+        upto: u64,
+        path: impl AsRef<Path>,
+        victim: impl FnMut(u64) -> Soc,
+    ) -> Result<(), CampaignError> {
+        let upto = upto.min(self.reps);
+        self.run_range(0, upto, Vec::new(), Recorder::new(), Some(path.as_ref()), victim)
+            .map(|_| ())
+    }
+
+    fn run_range(
+        &self,
+        start: u64,
+        end: u64,
+        mut records: Vec<RepRecord>,
+        rec: Recorder,
+        checkpoint: Option<&Path>,
+        mut victim: impl FnMut(u64) -> Soc,
+    ) -> Result<CampaignResult, CampaignError> {
+        // Cap the pre-allocation: `reps` is attacker-controlled config
+        // and a huge ask must not allocate gigabytes up front.
+        records.reserve(((end - start).min(1024)) as usize);
+        for rep in start..end {
+            records.push(self.run_rep(rep, &rec, &mut victim));
+            if let Some(path) = checkpoint {
+                Checkpoint {
+                    fault_seed: self.plan.seed(),
+                    reps: self.reps,
+                    next_rep: rep + 1,
+                    records: records.clone(),
+                    recorder: rec.clone(),
+                }
+                .save(path)?;
+            }
+        }
+        Ok(CampaignResult { plan: self.plan, reps: self.reps, records, recorder: rec })
+    }
+
+    fn run_rep(&self, rep: u64, rec: &Recorder, victim: &mut impl FnMut(u64) -> Soc) -> RepRecord {
+        let span = rec.span("campaign.rep");
+        rec.incr("campaign.reps", 1);
+        let rep_started_ns = rec.now_ns();
         let max_attempts = self.retry.max_attempts.max(1);
-        let mut records = Vec::with_capacity(self.reps as usize);
+        let mut faults_fired: Vec<String> = Vec::new();
+        let mut record = None;
 
-        for rep in 0..self.reps {
-            let span = rec.span("campaign.rep");
-            rec.incr("campaign.reps", 1);
-            let mut faults_fired: Vec<String> = Vec::new();
-            let mut record = None;
+        for attempt in 0..max_attempts {
+            rec.incr("campaign.attempts", 1);
+            let faults = self.plan.draw(rep, attempt);
+            faults_fired.extend(faults.fired().iter().map(|s| s.to_string()));
 
-            for attempt in 0..max_attempts {
-                rec.incr("campaign.attempts", 1);
-                let faults = self.plan.draw(rep, attempt);
-                faults_fired.extend(faults.fired().iter().map(|s| s.to_string()));
-
-                let mut soc = victim(rep);
-                let ctx = AttackContext { recorder: rec.clone(), faults };
-                match self.attack.execute_in(&mut soc, &ctx) {
-                    Ok(outcome) => {
-                        let clean = !faults.any() && outcome.rail_held;
+            let mut soc = victim(rep);
+            let ctx = AttackContext { recorder: rec.clone(), faults };
+            match self.attack.execute_in(&mut soc, &ctx) {
+                Ok(outcome) => {
+                    let clean = !faults.any() && outcome.rail_held;
+                    record = Some(RepRecord {
+                        rep,
+                        attempts: attempt + 1,
+                        status: if clean { RepStatus::Success } else { RepStatus::Degraded },
+                        rail_held: outcome.rail_held,
+                        images: outcome.images.len(),
+                        faults_fired: Vec::new(),
+                        steps_completed: outcome.steps.len(),
+                        error: None,
+                        confidence: outcome.confidence_total(),
+                    });
+                    break;
+                }
+                Err(failure) => {
+                    rec.event(
+                        "campaign.attempt_failed",
+                        &format!("rep {rep} attempt {attempt}: {failure}"),
+                    );
+                    if attempt + 1 < max_attempts {
+                        rec.incr("campaign.retries", 1);
+                        // Doubling virtual backoff between attempts.
+                        rec.advance(self.retry.backoff_ns(attempt));
+                        if let Some(deadline) = self.deadline_ns {
+                            if rec.now_ns().saturating_sub(rep_started_ns) > deadline {
+                                rec.event(
+                                    "campaign.rep_timed_out",
+                                    &format!(
+                                        "rep {rep} past its {deadline} ns deadline after {} attempts",
+                                        attempt + 1
+                                    ),
+                                );
+                                record = Some(RepRecord {
+                                    rep,
+                                    attempts: attempt + 1,
+                                    status: RepStatus::TimedOut,
+                                    rail_held: false,
+                                    images: 0,
+                                    faults_fired: Vec::new(),
+                                    steps_completed: failure.steps.len(),
+                                    error: Some(failure.error.to_string()),
+                                    confidence: ConfidenceMap::default(),
+                                });
+                                break;
+                            }
+                        }
+                    } else {
+                        // Retries exhausted: keep the partial outcome.
                         record = Some(RepRecord {
                             rep,
-                            attempts: attempt + 1,
-                            status: if clean { RepStatus::Success } else { RepStatus::Degraded },
-                            rail_held: outcome.rail_held,
-                            images: outcome.images.len(),
+                            attempts: max_attempts,
+                            status: RepStatus::Failed,
+                            rail_held: false,
+                            images: 0,
                             faults_fired: Vec::new(),
-                            steps_completed: outcome.steps.len(),
-                            error: None,
+                            steps_completed: failure.steps.len(),
+                            error: Some(failure.error.to_string()),
+                            confidence: ConfidenceMap::default(),
                         });
-                        break;
-                    }
-                    Err(failure) => {
-                        rec.event(
-                            "campaign.attempt_failed",
-                            &format!("rep {rep} attempt {attempt}: {failure}"),
-                        );
-                        if attempt + 1 < max_attempts {
-                            rec.incr("campaign.retries", 1);
-                            // Doubling virtual backoff between attempts.
-                            rec.advance(self.retry.initial_backoff_ns << attempt);
-                        } else {
-                            // Retries exhausted: keep the partial outcome.
-                            record = Some(RepRecord {
-                                rep,
-                                attempts: max_attempts,
-                                status: RepStatus::Failed,
-                                rail_held: false,
-                                images: 0,
-                                faults_fired: Vec::new(),
-                                steps_completed: failure.steps.len(),
-                                error: Some(failure.error.to_string()),
-                            });
-                        }
                     }
                 }
             }
-
-            let mut record = record.expect("every rep produces a record");
-            record.faults_fired = faults_fired;
-            match record.status {
-                RepStatus::Success => rec.incr("campaign.successes", 1),
-                RepStatus::Degraded => rec.incr("campaign.degraded", 1),
-                RepStatus::Failed => rec.incr("campaign.failures", 1),
-            }
-            span.end();
-            records.push(record);
         }
 
-        CampaignResult { plan: self.plan, reps: self.reps, records, recorder: rec }
+        let mut record = record.expect("every rep produces a record");
+        record.faults_fired = faults_fired;
+        match record.status {
+            RepStatus::Success => rec.incr("campaign.successes", 1),
+            RepStatus::Degraded => rec.incr("campaign.degraded", 1),
+            RepStatus::Failed => rec.incr("campaign.failures", 1),
+            RepStatus::TimedOut => rec.incr("campaign.timed_out", 1),
+        }
+        span.end();
+        record
     }
 }
 
@@ -201,39 +664,29 @@ impl CampaignResult {
         self.records.iter().filter(|r| r.status == status).count()
     }
 
+    /// Aggregate vote confidence across every repetition's images.
+    pub fn confidence_total(&self) -> ConfidenceMap {
+        let mut total = ConfidenceMap::default();
+        for r in &self.records {
+            total.absorb(&r.confidence);
+        }
+        total
+    }
+
     /// The machine-readable report as a JSON value. Deterministic: equal
     /// seeds produce byte-identical renderings.
     pub fn to_value(&self) -> json::Value {
+        let confidence = self.confidence_total();
         let summary = json::Value::object(vec![
             ("reps", json::Value::from(self.reps)),
             ("successes", json::Value::from(self.count(RepStatus::Success))),
             ("degraded", json::Value::from(self.count(RepStatus::Degraded))),
             ("failures", json::Value::from(self.count(RepStatus::Failed))),
+            ("timed_out", json::Value::from(self.count(RepStatus::TimedOut))),
+            ("bits_repaired", json::Value::from(confidence.repaired)),
+            ("bits_unresolved", json::Value::from(confidence.unresolved)),
         ]);
-        let records: Vec<json::Value> = self
-            .records
-            .iter()
-            .map(|r| {
-                json::Value::object(vec![
-                    ("rep", json::Value::from(r.rep)),
-                    ("attempts", json::Value::from(u64::from(r.attempts))),
-                    ("status", json::Value::from(r.status.as_str())),
-                    ("rail_held", json::Value::from(r.rail_held)),
-                    ("images", json::Value::from(r.images)),
-                    (
-                        "faults_fired",
-                        json::Value::Array(
-                            r.faults_fired.iter().map(|f| json::Value::from(f.as_str())).collect(),
-                        ),
-                    ),
-                    ("steps_completed", json::Value::from(r.steps_completed)),
-                    (
-                        "error",
-                        r.error.as_deref().map(json::Value::from).unwrap_or(json::Value::Null),
-                    ),
-                ])
-            })
-            .collect();
+        let records: Vec<json::Value> = self.records.iter().map(RepRecord::to_value).collect();
         json::Value::object(vec![
             ("fault_seed", json::Value::from(self.plan.seed())),
             ("summary", summary),
@@ -246,5 +699,124 @@ impl CampaignResult {
     /// newline).
     pub fn to_json(&self) -> String {
         self.to_value().render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let retry = RetryPolicy { max_attempts: 70, initial_backoff_ns: 50_000_000 };
+        assert_eq!(retry.backoff_ns(0), 50_000_000);
+        assert_eq!(retry.backoff_ns(1), 100_000_000);
+        let mut last = 0;
+        for attempt in 0..70 {
+            let b = retry.backoff_ns(attempt); // must not panic or wrap
+            assert!(b >= last, "backoff must be monotone, attempt {attempt}");
+            last = b;
+        }
+        assert_eq!(retry.backoff_ns(63), u64::MAX, "shift past 63 saturates");
+        assert_eq!(retry.backoff_ns(69), u64::MAX);
+        let zero = RetryPolicy { max_attempts: 70, initial_backoff_ns: 0 };
+        assert_eq!(zero.backoff_ns(69), 0, "zero base stays zero at any attempt");
+    }
+
+    #[test]
+    fn rep_status_strings_roundtrip() {
+        for s in [RepStatus::Success, RepStatus::Degraded, RepStatus::Failed, RepStatus::TimedOut] {
+            assert_eq!(RepStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(RepStatus::parse("nope"), None);
+    }
+
+    fn sample_records() -> Vec<RepRecord> {
+        vec![
+            RepRecord {
+                rep: 0,
+                attempts: 1,
+                status: RepStatus::Success,
+                rail_held: true,
+                images: 8,
+                faults_fired: vec!["brownout".into()],
+                steps_completed: 5,
+                error: None,
+                confidence: ConfidenceMap {
+                    total_bits: 10,
+                    unanimous: 9,
+                    repaired: 1,
+                    unresolved: 0,
+                    votes: 3,
+                },
+            },
+            RepRecord {
+                rep: 1,
+                attempts: 3,
+                status: RepStatus::TimedOut,
+                rail_held: false,
+                images: 0,
+                faults_fired: vec![],
+                steps_completed: 4,
+                error: Some("extraction denied: flaky port".into()),
+                confidence: ConfidenceMap::default(),
+            },
+        ]
+    }
+
+    #[test]
+    fn rep_records_roundtrip_through_json() {
+        for record in sample_records() {
+            let back = RepRecord::from_value(&record.to_value()).unwrap();
+            assert_eq!(back, record);
+        }
+        assert!(RepRecord::from_value(&json::Value::Null).is_err());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_detects_corruption() {
+        let rec = Recorder::new();
+        rec.incr("campaign.reps", 2);
+        rec.advance(1234);
+        let cp = Checkpoint {
+            fault_seed: 7,
+            reps: 6,
+            next_rep: 2,
+            records: sample_records(),
+            recorder: rec,
+        };
+        let text = cp.to_json();
+        let back = Checkpoint::from_json(&text).unwrap();
+        assert_eq!(back.records, cp.records);
+        assert_eq!(back.next_rep, 2);
+        assert_eq!(back.reps, 6);
+        assert_eq!(back.recorder.to_json(), cp.recorder.to_json());
+        assert_eq!(back.to_json(), text, "reload + re-render is byte-identical");
+
+        // A payload edit trips the checksum.
+        let tampered = text.replace("\"images\": 8", "\"images\": 9");
+        assert_ne!(tampered, text, "tamper target must exist");
+        assert!(matches!(
+            Checkpoint::from_json(&tampered),
+            Err(CampaignError::Corrupt { detail }) if detail.contains("checksum")
+        ));
+        // Structural garbage is rejected, not panicked on.
+        assert!(matches!(Checkpoint::from_json("[]"), Err(CampaignError::Corrupt { .. })));
+        assert!(Checkpoint::from_json("{").is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_inconsistent_next_rep() {
+        let cp = Checkpoint {
+            fault_seed: 7,
+            reps: 6,
+            next_rep: 5, // but only 2 records
+            records: sample_records(),
+            recorder: Recorder::new(),
+        };
+        assert!(matches!(
+            Checkpoint::from_json(&cp.to_json()),
+            Err(CampaignError::Corrupt { detail }) if detail.contains("next_rep")
+        ));
     }
 }

@@ -1,5 +1,6 @@
 //! Error type for attack orchestration.
 
+use crate::recover::IntegrityError;
 use std::error::Error;
 use std::fmt;
 use voltboot_soc::SocError;
@@ -27,6 +28,9 @@ pub enum AttackError {
         /// What is wrong.
         detail: String,
     },
+    /// An extracted image failed an integrity check (CRC mismatch, an
+    /// unresolvable vote, a corrupt checkpoint).
+    Integrity(IntegrityError),
 }
 
 impl fmt::Display for AttackError {
@@ -38,6 +42,7 @@ impl fmt::Display for AttackError {
             AttackError::BadConfiguration { detail } => {
                 write!(f, "bad attack configuration: {detail}")
             }
+            AttackError::Integrity(e) => write!(f, "{e}"),
         }
     }
 }
@@ -46,8 +51,15 @@ impl Error for AttackError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AttackError::Soc(e) => Some(e),
+            AttackError::Integrity(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<IntegrityError> for AttackError {
+    fn from(e: IntegrityError) -> Self {
+        AttackError::Integrity(e)
     }
 }
 
@@ -80,6 +92,9 @@ mod tests {
         assert!(matches!(e, AttackError::ExtractionDenied { .. }));
         let e: AttackError = SocError::NoIram.into();
         assert!(matches!(e, AttackError::Soc(_)));
+        let e: AttackError = IntegrityError::AllPassesErased.into();
+        assert!(matches!(e, AttackError::Integrity(IntegrityError::AllPassesErased)));
+        assert!(e.to_string().contains("integrity violation"));
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct StepFaults {
     pub readout_noise_seed: u64,
     /// The debug port fails to enumerate: the extract step errors.
     pub extraction_dropout: bool,
+    /// Seed deciding *which* readout passes a firing dropout erases
+    /// when the attack runs multi-pass extraction (single-pass attempts
+    /// fail outright, as ever). Zero unless the dropout fired.
+    pub dropout_seed: u64,
 }
 
 impl StepFaults {
@@ -190,16 +194,26 @@ impl FaultPlan {
             lo + (hi - lo) * unit(self.word(rep, attempt, 101))
         });
         let readout = self.fires(self.rates.readout_bit_error, rep, attempt, 3);
+        let dropout = self.fires(self.rates.extraction_dropout, rep, attempt, 4);
         StepFaults {
             probe_glitch: self.fires(self.rates.probe_glitch, rep, attempt, 0),
             brownout_min_voltage: brownout,
             reconnect_misorder: self.fires(self.rates.reconnect_misorder, rep, attempt, 2),
             readout_bit_error_fraction: if readout { READOUT_ERROR_FRACTION } else { 0.0 },
-            // Only a firing readout fault carries a noise seed; a quiescent
-            // draw must compare equal to `StepFaults::none()`.
+            // Only a firing fault carries its seed; a quiescent draw
+            // must compare equal to `StepFaults::none()`.
             readout_noise_seed: if readout { self.word(rep, attempt, 103) } else { 0 },
-            extraction_dropout: self.fires(self.rates.extraction_dropout, rep, attempt, 4),
+            extraction_dropout: dropout,
+            dropout_seed: if dropout { self.word(rep, attempt, 104) } else { 0 },
         }
+    }
+
+    /// Whether a firing dropout erases readout pass `pass` of a
+    /// multi-pass extraction, given the drawn
+    /// [`StepFaults::dropout_seed`]. Roughly half the passes of a flaky
+    /// port drop; pass selection is deterministic in the seed.
+    pub fn pass_erased(dropout_seed: u64, pass: u32) -> bool {
+        unit(mix64(dropout_seed ^ u64::from(pass).wrapping_mul(0xA076_1D64_78BD_642F))) < 0.5
     }
 }
 
@@ -273,6 +287,28 @@ mod tests {
             let v = plan.draw(rep, 0).brownout_min_voltage.unwrap();
             assert!((BROWNOUT_RANGE_V.0..BROWNOUT_RANGE_V.1).contains(&v), "{v}");
         }
+    }
+
+    #[test]
+    fn dropout_draws_carry_a_pass_erasure_seed() {
+        let plan =
+            FaultPlan::new(21, FaultRates { extraction_dropout: 1.0, ..FaultRates::default() });
+        let f = plan.draw(0, 0);
+        assert!(f.extraction_dropout);
+        assert_ne!(f.dropout_seed, 0, "a firing dropout draws a pass-selection seed");
+        assert_eq!(f.dropout_seed, plan.draw(0, 0).dropout_seed, "deterministic");
+        // Quiescent draws stay equal to `none()` (seed zero).
+        assert_eq!(FaultPlan::quiescent(21).draw(0, 0), StepFaults::none());
+        // Pass erasure is deterministic in (seed, pass) and roughly
+        // balanced, so multi-pass extraction usually keeps some passes.
+        let erased: Vec<bool> =
+            (0..64).map(|p| FaultPlan::pass_erased(f.dropout_seed, p)).collect();
+        assert_eq!(
+            erased,
+            (0..64).map(|p| FaultPlan::pass_erased(f.dropout_seed, p)).collect::<Vec<_>>()
+        );
+        let count = erased.iter().filter(|&&e| e).count();
+        assert!((16..48).contains(&count), "erasures should be roughly balanced: {count}/64");
     }
 
     #[test]

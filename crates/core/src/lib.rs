@@ -66,16 +66,20 @@ pub mod error;
 pub mod experiments;
 pub mod fault;
 pub mod os_noise;
+pub mod recover;
 pub mod report;
 pub mod workloads;
 
 pub use attack::{
     AttackContext, AttackFailure, AttackOutcome, ColdBootAttack, ExtractedImage, Extraction,
-    VoltBootAttack,
+    ImageConfidence, VoltBootAttack,
 };
-pub use campaign::{Campaign, CampaignResult, RepRecord, RepStatus, RetryPolicy};
+pub use campaign::{
+    Campaign, CampaignError, CampaignResult, Checkpoint, RepRecord, RepStatus, RetryPolicy,
+};
 pub use error::AttackError;
 pub use fault::{FaultPlan, FaultRates, StepFaults};
+pub use recover::{ConfidenceMap, IntegrityError};
 
 /// Re-export of the telemetry substrate (recorder, spans, JSON builder).
 pub use voltboot_telemetry as telemetry;

@@ -2,7 +2,7 @@
 //! glitches, retries, and telemetry — and bit-identity without them.
 
 use voltboot::attack::{AttackContext, VoltBootAttack};
-use voltboot::campaign::{Campaign, RepStatus, RetryPolicy};
+use voltboot::campaign::{Campaign, CampaignError, RepStatus, RetryPolicy};
 use voltboot::fault::{FaultPlan, FaultRates, StepFaults};
 use voltboot::telemetry::Recorder;
 use voltboot_armlite::program::builders;
@@ -151,4 +151,94 @@ fn same_seed_campaigns_render_byte_identical_reports() {
         .retry(RetryPolicy { max_attempts: 2, initial_backoff_ns: 1_000_000 });
     let c = campaign.run(|rep| prepared_pi4(0xD1E ^ rep)).to_json();
     assert_ne!(a, c, "a different fault seed must change the report");
+}
+
+#[test]
+fn three_pass_voting_strictly_reduces_corrupted_words() {
+    // Full-device comparison of the same noisy readout resolved with and
+    // without voting: count 32-bit words that differ from a quiescent
+    // extraction of the same die.
+    let run = |passes: u32| {
+        let mut clean = prepared_pi4(0x7E57);
+        let mut noisy = prepared_pi4(0x7E57);
+        let attack = VoltBootAttack::new("TP15").passes(passes);
+        let good = attack.execute(&mut clean).unwrap();
+        let ctx = AttackContext {
+            recorder: Recorder::new(),
+            faults: StepFaults {
+                readout_bit_error_fraction: 0.002,
+                readout_noise_seed: 0x0BAD_5EED,
+                ..StepFaults::none()
+            },
+        };
+        let bad = attack.execute_in(&mut noisy, &ctx).unwrap();
+        let mut words = 0usize;
+        for (g, b) in good.images.iter().zip(&bad.images) {
+            assert_eq!(g.source, b.source);
+            let (gb, bb) = (g.bits.to_bytes(), b.bits.to_bytes());
+            words += gb.chunks(4).zip(bb.chunks(4)).filter(|(x, y)| x != y).count();
+        }
+        (words, bad)
+    };
+
+    let (err1, single) = run(1);
+    let (err3, voted) = run(3);
+    assert!(err1 > 0, "0.2% readout noise must corrupt some words single-pass");
+    assert!(err3 < err1, "3-pass voting must strictly reduce corrupted words: {err3} vs {err1}");
+
+    // The voted outcome carries a verifiable confidence map; the legacy
+    // single-pass outcome carries none.
+    assert!(single.confidence.is_empty());
+    voted.verify_integrity().expect("voted images must pass their CRC seals");
+    let conf = voted.confidence_total();
+    assert_eq!(conf.votes, 3);
+    assert!(conf.repaired > 0, "independent per-pass noise must let the vote repair bits");
+}
+
+#[test]
+fn killed_campaign_resumes_to_byte_identical_report() {
+    let make = |fault_seed: u64| {
+        Campaign::new(
+            VoltBootAttack::new("TP15").passes(3),
+            FaultPlan::new(fault_seed, FaultRates::uniform(0.25)),
+            5,
+        )
+        .retry(RetryPolicy { max_attempts: 2, initial_backoff_ns: 1_000_000 })
+    };
+    let victim = |rep: u64| prepared_pi4(0x5E5 ^ rep);
+    let uninterrupted = make(7).run(victim).to_json();
+
+    // "Kill" the campaign after rep 2, then resume from the checkpoint.
+    let path = std::env::temp_dir()
+        .join(format!("voltboot_test_resume_{}.checkpoint", std::process::id()));
+    make(7).run_partial(2, &path, victim).unwrap();
+    let resumed = make(7).resume(&path, victim).unwrap().to_json();
+    assert_eq!(resumed, uninterrupted, "resumed report must be byte-identical");
+
+    // A campaign built around a different fault plan must refuse the
+    // checkpoint rather than splice incompatible histories.
+    let err = make(8).resume(&path, victim).unwrap_err();
+    assert!(matches!(err, CampaignError::Mismatch { .. }), "got {err:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deadline_converts_retry_storms_into_timed_out_records() {
+    // Every attempt drops out, and the backoff alone blows the per-rep
+    // deadline: the campaign must give up on the rep as timed_out instead
+    // of burning all five attempts.
+    let rates = FaultRates { extraction_dropout: 1.0, ..FaultRates::default() };
+    let campaign = Campaign::new(VoltBootAttack::new("TP15"), FaultPlan::new(5, rates), 2)
+        .retry(RetryPolicy { max_attempts: 5, initial_backoff_ns: 200_000_000 })
+        .deadline_ns(300_000_000);
+
+    let result = campaign.run(|rep| prepared_pi4(0x600D ^ rep));
+
+    assert_eq!(result.count(RepStatus::TimedOut), 2);
+    assert!(
+        result.records.iter().all(|r| r.attempts < 5),
+        "the deadline must cut the retry loop short"
+    );
+    assert_eq!(result.recorder.counter("campaign.timed_out"), 2);
+    assert!(result.to_json().contains("\"timed_out\": 2"));
 }

@@ -837,6 +837,53 @@ impl Soc {
         ramindex_read(cache, is_data, way, index, self.policy.trustzone_enforced, requester_secure)
     }
 
+    /// Reads one whole readout unit — a data-RAM way, or the full
+    /// TLB/BTB entry RAM — through the `RAMINDEX` path, returning its
+    /// bytes in index order. This is the granularity the voted
+    /// multi-pass extraction re-reads selectively; issuing the
+    /// individual [`Soc::ramindex`] beats yields identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Soc::ramindex`]. Tag RAMs are not readable as
+    /// a unit ([`SocError::UnknownRamId`]).
+    pub fn ramindex_unit(
+        &self,
+        core: usize,
+        ram: RamId,
+        way: u8,
+        requester_secure: bool,
+    ) -> Result<Vec<u8>, SocError> {
+        let c = self.core(core)?;
+        let cache = match ram {
+            RamId::L1IData => &c.l1i,
+            RamId::L1DData => &c.l1d,
+            RamId::Tlb => {
+                let mut bytes = Vec::with_capacity(crate::tlb::TLB_ENTRIES * 8);
+                for entry in 0..crate::tlb::TLB_ENTRIES {
+                    bytes.extend_from_slice(&c.tlb.entry_word(entry)?.to_le_bytes());
+                }
+                return Ok(bytes);
+            }
+            RamId::Btb => {
+                let mut bytes = Vec::with_capacity(crate::btb::BTB_ENTRIES * 8);
+                for entry in 0..crate::btb::BTB_ENTRIES {
+                    bytes.extend_from_slice(&c.btb.entry_word(entry)?.to_le_bytes());
+                }
+                return Ok(bytes);
+            }
+            RamId::L1ITag | RamId::L1DTag => {
+                return Err(SocError::UnknownRamId { ramid: ram.code() })
+            }
+        };
+        crate::debug::ramindex_read_way(
+            cache,
+            way,
+            self.policy.trustzone_enforced,
+            requester_secure,
+        )
+    }
+
     /// Reads physical memory over JTAG (iRAM or DRAM), bypassing the CPU.
     ///
     /// # Errors

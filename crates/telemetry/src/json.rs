@@ -198,7 +198,19 @@ mod tests {
         assert_eq!(Value::from(-3i64).render(), "-3");
         assert_eq!(Value::from(0.5).render(), "0.5");
         assert_eq!(Value::from(2.0).render(), "2.0", "floats keep a decimal point");
-        assert_eq!(Value::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        // `{x}` would print `NaN` / `inf` / `-inf` — none of which is
+        // JSON. Every non-finite value must collapse to `null`, in both
+        // compact and pretty renderings, at any nesting depth.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Value::Float(x).render(), "null");
+            let doc = Value::object(vec![("v", Value::Float(x))]);
+            assert_eq!(doc.render(), r#"{"v":null}"#);
+            assert!(doc.render_pretty().contains("\"v\": null"));
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod parse;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -196,6 +197,75 @@ impl Recorder {
     pub fn to_json(&self) -> String {
         self.to_value().render()
     }
+
+    /// Rebuilds a recorder from a [`Recorder::to_value`] export — the
+    /// checkpoint/resume path. The restored recorder is enabled and
+    /// carries the exported clock, counters, timings, and events, so
+    /// `Recorder::from_value(&rec.to_value())` is observationally
+    /// identical to `rec` (`to_value` round-trips byte-exactly).
+    ///
+    /// # Errors
+    ///
+    /// [`parse::ParseError`] naming the missing or mistyped field.
+    pub fn from_value(v: &json::Value) -> Result<Recorder, parse::ParseError> {
+        let schema = |detail: &str| parse::ParseError { at: 0, detail: detail.to_string() };
+        let clock_ns = v
+            .get("clock_ns")
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| schema("recorder: clock_ns must be a u64"))?;
+        let mut counters = BTreeMap::new();
+        for (k, c) in v
+            .get("counters")
+            .and_then(json::Value::as_object)
+            .ok_or_else(|| schema("recorder: counters must be an object"))?
+        {
+            let n =
+                c.as_u64().ok_or_else(|| schema(&format!("recorder: counter {k} not a u64")))?;
+            counters.insert(k.clone(), n);
+        }
+        let mut timings = BTreeMap::new();
+        for (k, t) in v
+            .get("timings")
+            .and_then(json::Value::as_object)
+            .ok_or_else(|| schema("recorder: timings must be an object"))?
+        {
+            let count = t
+                .get("count")
+                .and_then(json::Value::as_u64)
+                .ok_or_else(|| schema(&format!("recorder: timing {k} missing count")))?;
+            let total_ns = t
+                .get("total_ns")
+                .and_then(json::Value::as_u64)
+                .ok_or_else(|| schema(&format!("recorder: timing {k} missing total_ns")))?;
+            timings.insert(k.clone(), StepTiming { count, total_ns });
+        }
+        let mut events = Vec::new();
+        for e in v
+            .get("events")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| schema("recorder: events must be an array"))?
+        {
+            events.push(EventRecord {
+                at_ns: e
+                    .get("at_ns")
+                    .and_then(json::Value::as_u64)
+                    .ok_or_else(|| schema("recorder: event missing at_ns"))?,
+                name: e
+                    .get("name")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| schema("recorder: event missing name"))?
+                    .to_string(),
+                detail: e
+                    .get("detail")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| schema("recorder: event missing detail"))?
+                    .to_string(),
+            });
+        }
+        Ok(Recorder {
+            inner: Some(Arc::new(Mutex::new(Inner { clock_ns, counters, timings, events }))),
+        })
+    }
 }
 
 /// An open span handle; see [`Recorder::span`].
@@ -296,6 +366,40 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].at_ns, 42);
         assert_eq!(events[0].name, "fault");
+    }
+
+    #[test]
+    fn recorder_roundtrips_through_value() {
+        let rec = Recorder::new();
+        rec.incr("reps", 3);
+        rec.advance(40);
+        rec.event("fault", "brown-out at rail VDD_CORE");
+        {
+            let s = rec.span("step");
+            rec.advance(10);
+            s.end();
+        }
+        let restored = Recorder::from_value(&rec.to_value()).unwrap();
+        assert_eq!(restored.to_json(), rec.to_json(), "restore must be byte-exact");
+        // The restored recorder keeps recording seamlessly.
+        restored.incr("reps", 1);
+        assert_eq!(restored.counter("reps"), 4);
+        assert_eq!(restored.now_ns(), 50);
+    }
+
+    #[test]
+    fn recorder_restore_rejects_malformed_exports() {
+        assert!(Recorder::from_value(&json::Value::Null).is_err());
+        let missing_clock = json::Value::object(vec![("counters", json::Value::Object(vec![]))]);
+        assert!(Recorder::from_value(&missing_clock).is_err());
+        let bad_counter = json::Value::object(vec![
+            ("clock_ns", json::Value::from(0u64)),
+            ("counters", json::Value::object(vec![("x", json::Value::from("nope"))])),
+            ("timings", json::Value::Object(vec![])),
+            ("events", json::Value::Array(vec![])),
+        ]);
+        let err = Recorder::from_value(&bad_counter).unwrap_err();
+        assert!(err.detail.contains("counter x"), "{err}");
     }
 
     #[test]

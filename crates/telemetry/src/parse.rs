@@ -1,0 +1,454 @@
+//! A minimal JSON parser for the values [`crate::json`] renders.
+//!
+//! The workspace's reports are written by the hand-rolled builder in
+//! [`crate::json`]; checkpoint/resume needs to read them back. This
+//! parser accepts exactly the JSON that builder emits (plus arbitrary
+//! inter-token whitespace), and classifies numbers the same way the
+//! builder does: a non-negative integer literal becomes
+//! [`Value::UInt`], a negative one [`Value::Int`], and anything with a
+//! decimal point or exponent [`Value::Float`] — so
+//! `parse(v.render()) == v` for every value the builder produces (the
+//! builder renders non-finite floats as `null`, which round-trips as
+//! [`Value::Null`]).
+//!
+//! Like the builder, it is dependency-free and deterministic; errors
+//! carry the byte offset they occurred at.
+
+use crate::json::Value;
+
+/// Why a document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed input or trailing non-whitespace.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, detail: detail.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            // hex4 leaves pos past the digits; skip the
+                            // outer advance below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was a str");
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits, returning their value.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if is_float {
+            let x: f64 =
+                text.parse().map_err(|e| ParseError { at: start, detail: format!("{e}") })?;
+            if !x.is_finite() {
+                return Err(ParseError { at: start, detail: "non-finite float".into() });
+            }
+            Ok(Value::Float(x))
+        } else if let Some(rest) = text.strip_prefix('-') {
+            if rest.is_empty() {
+                return Err(ParseError { at: start, detail: "lone minus sign".into() });
+            }
+            let n: i64 =
+                text.parse().map_err(|e| ParseError { at: start, detail: format!("{e}") })?;
+            Ok(Value::Int(n))
+        } else {
+            if text.is_empty() {
+                return Err(ParseError { at: start, detail: "expected digits".into() });
+            }
+            let n: u64 =
+                text.parse().map_err(|e| ParseError { at: start, detail: format!("{e}") })?;
+            Ok(Value::UInt(n))
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Typed accessors: the small schema layer checkpoint loading builds on.
+// ----------------------------------------------------------------------
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (floats and integers all widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object's pairs, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        assert_eq!(&parse(&v.render()).unwrap(), v, "compact roundtrip of {v:?}");
+        assert_eq!(&parse(&v.render_pretty()).unwrap(), v, "pretty roundtrip of {v:?}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::UInt(0));
+        roundtrip(&Value::UInt(u64::MAX));
+        roundtrip(&Value::Int(-1));
+        roundtrip(&Value::Int(i64::MIN));
+        roundtrip(&Value::Float(0.5));
+        roundtrip(&Value::Float(-3.25));
+        roundtrip(&Value::Float(2.0));
+        roundtrip(&Value::Float(1e300));
+        roundtrip(&Value::Float(5e-324));
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        roundtrip(&Value::from(""));
+        roundtrip(&Value::from("plain"));
+        roundtrip(&Value::from("esc \" \\ \n \r \t \u{1} end"));
+        roundtrip(&Value::from("unicode: héllo 日本 🦀"));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&Value::Array(vec![]));
+        roundtrip(&Value::Object(vec![]));
+        roundtrip(&Value::object(vec![
+            ("nested", Value::Array(vec![Value::Null, Value::UInt(7)])),
+            ("obj", Value::object(vec![("k", Value::from("v"))])),
+        ]));
+    }
+
+    #[test]
+    fn parses_builder_escapes() {
+        assert_eq!(parse(r#""\u0041\u00e9""#).unwrap(), Value::from("Aé"));
+        assert_eq!(parse(r#""\ud83e\udd80""#).unwrap(), Value::from("🦀"));
+        assert_eq!(parse(r#""\/""#).unwrap(), Value::from("/"));
+    }
+
+    #[test]
+    fn number_classification_matches_builder() {
+        assert_eq!(parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("42.0").unwrap(), Value::Float(42.0));
+        assert_eq!(parse("4e2").unwrap(), Value::Float(400.0));
+        assert_eq!(parse("-0.5").unwrap(), Value::Float(-0.5));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "\"unterminated",
+            "nul",
+            "tru",
+            "01x",
+            "- ",
+            "[1]]",
+            "{\"a\":1}{",
+            "\"\\ud800\"", // lone high surrogate
+            "\"\\q\"",     // bad escape
+            "1e999",       // overflows to +inf
+        ] {
+            assert!(parse(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!(err.at, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let v = parse(r#"{"a": 1, "b": "s", "c": [true], "d": 0.5, "e": -2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("s"));
+        assert_eq!(v.get("c").unwrap().as_array().unwrap()[0].as_bool(), Some(true));
+        assert_eq!(v.get("d").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("e").unwrap().as_f64(), Some(-2.0));
+        assert!(v.get("missing").is_none());
+        assert!(v.as_object().is_some());
+        assert!(Value::Null.get("a").is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests: the telemetry JSON parser inverts the builder.
+//!
+//! The builder emits numbers in canonical form (non-negative integers
+//! as `UInt`, negative as `Int`, finite floats with a forced decimal
+//! point or exponent), so the strategy generates exactly that shape:
+//! for every such value `v`, `parse(render(v)) == v` — compact and
+//! pretty.
+
+use proptest::prelude::*;
+use voltboot_telemetry::json::Value;
+use voltboot_telemetry::parse::parse;
+
+/// Canonical builder values: what `Value` construction through the
+/// `From` impls and `Value::object` can produce, minus non-finite
+/// floats (those render as `null` by design and cannot round-trip).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::UInt),
+        (i64::MIN..0).prop_map(Value::Int),
+        any::<f64>().prop_filter("finite floats only", |x| x.is_finite()).prop_map(Value::Float),
+        ".*".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec((".{0,12}", inner), 0..6).prop_map(Value::object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_inverts_render(v in value_strategy()) {
+        prop_assert_eq!(&parse(&v.render()).unwrap(), &v);
+        prop_assert_eq!(&parse(&v.render_pretty()).unwrap(), &v);
+    }
+
+    #[test]
+    fn reparse_is_stable(v in value_strategy()) {
+        // render → parse → render is a fixed point: the parsed value
+        // renders to the same bytes, so checkpoints survive any number
+        // of load/save cycles unchanged.
+        let first = v.render();
+        let second = parse(&first).unwrap().render();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in ".{0,64}") {
+        let _ = parse(&s);
+    }
+}
