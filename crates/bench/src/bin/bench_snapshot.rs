@@ -62,18 +62,22 @@ fn main() {
     });
 
     let threads = voltboot_sram::par::thread_count();
+    // What the batched engine actually used for this array, not the
+    // pool's nominal size: small arrays and single-thread pools shard
+    // less than `threads` suggests.
+    let workers = voltboot_sram::engine::resolution_workers(MIB * 8);
     println!("1 MiB warm power cycle, scalar : {t_scalar:?} ({:.1} MiB/s)", mib_per_s(t_scalar));
     println!("1 MiB warm power cycle, batched: {t_batched:?} ({:.1} MiB/s)", mib_per_s(t_batched));
     println!("speedup (batched vs scalar)    : {speedup:.1}x");
     println!("pi4 full-board warm power cycle: {t_soc:?}");
-    println!("threads: {threads}");
+    println!("threads: {threads} (pool), resolution workers used: {workers}");
 
     // Hand-rolled JSON: the workspace intentionally has no serde_json.
     let json = format!(
         "{{\n  \"bench\": \"sram\",\n  \"array_bytes\": {MIB},\n  \
          \"scalar_warm_cycle_ms\": {:.3},\n  \"batched_warm_cycle_ms\": {:.3},\n  \
          \"scalar_mib_per_s\": {:.2},\n  \"batched_mib_per_s\": {:.2},\n  \
-         \"speedup\": {:.2},\n  \"pi4_power_cycle_ms\": {:.3},\n  \"threads\": {threads}\n}}\n",
+         \"speedup\": {:.2},\n  \"pi4_power_cycle_ms\": {:.3},\n  \"threads\": {workers}\n}}\n",
         t_scalar.as_secs_f64() * 1e3,
         t_batched.as_secs_f64() * 1e3,
         mib_per_s(t_scalar),

@@ -9,12 +9,15 @@
 //!
 //! ```text
 //! cargo run --release -p voltboot-bench --bin campaign -- \
-//!     [--reps N] [--passes N] [--deadline-ns N] \
+//!     [--reps N] [--passes N] [--threads N] [--deadline-ns N] \
 //!     [--checkpoint PATH [--resume]] [--smoke] [--resume-smoke]
 //! ```
 //!
 //! * `--passes N` reads each SRAM unit N times and majority-votes the
 //!   bits (odd, capped; see `voltboot::recover`).
+//! * `--threads N` shards each campaign's repetitions across N worker
+//!   threads; the report stays byte-identical to a single-thread run
+//!   (only the measured `reps_per_s` changes).
 //! * `--deadline-ns N` bounds each repetition's retry loop on the
 //!   virtual clock; overruns are recorded as `timed_out`.
 //! * `--checkpoint PATH` saves an integrity-sealed checkpoint after
@@ -24,11 +27,13 @@
 //!
 //! Everything is virtual-clock deterministic: two runs with the same
 //! `VOLTBOOT_SEED` / `VOLTBOOT_FAULT_SEED` produce byte-identical
-//! reports. `--smoke` runs a small fixed-seed campaign twice, fails the
-//! process on any byte drift or schema regression, and skips the file
-//! write — the CI gate. `--resume-smoke` is the companion gate for the
-//! checkpoint path: it kills a fixed-seed campaign halfway, resumes it,
-//! and fails on any byte drift against the uninterrupted report.
+//! reports — whatever `--threads` says. `--smoke` runs a small
+//! fixed-seed campaign sequentially and again under `--threads`, fails
+//! the process on any byte drift or schema regression, and skips the
+//! file write — the CI gate. `--resume-smoke` is the companion gate for
+//! the checkpoint path: it kills a fixed-seed campaign halfway under
+//! `--threads`, resumes it under a *different* thread count, and fails
+//! on any byte drift against the uninterrupted report.
 
 use std::path::{Path, PathBuf};
 use voltboot::attack::VoltBootAttack;
@@ -41,7 +46,7 @@ use voltboot_soc::{devices, Soc};
 /// The fault rates the sweep replays the attack under.
 const SWEEP_RATES: [f64; 3] = [0.0, 0.05, 0.2];
 
-fn victim(die_seed: u64) -> impl FnMut(u64) -> Soc {
+fn victim(die_seed: u64) -> impl Fn(u64) -> Soc + Sync {
     move |rep| {
         let mut soc = devices::raspberry_pi_4(die_seed ^ rep.wrapping_mul(0x9E37_79B9));
         soc.power_on_all();
@@ -57,6 +62,8 @@ struct SweepConfig {
     fault_seed: u64,
     reps: u64,
     passes: u32,
+    /// Worker threads per campaign (1 = the sequential runner).
+    threads: usize,
     deadline_ns: Option<u64>,
     /// Checkpoint file stem and whether to resume from existing files.
     checkpoint: Option<(PathBuf, bool)>,
@@ -80,22 +87,26 @@ fn sweep_checkpoint(stem: &Path, sweep: usize) -> PathBuf {
     PathBuf::from(name)
 }
 
-/// Runs the full sweep and renders the report document.
-fn sweep_report(cfg: &SweepConfig) -> String {
+/// Runs the full sweep and builds the report document. The document is
+/// deterministic (byte-identical for equal seeds, any thread count);
+/// wall-clock scaling stats are appended by `main` outside it.
+fn sweep_document(cfg: &SweepConfig) -> Value {
     let mut sweeps = Vec::new();
     for (i, &rate) in SWEEP_RATES.iter().enumerate() {
         let campaign = build_campaign(cfg, i, rate);
+        // The parallel entry points run the sequential path at 1 thread,
+        // so every configuration goes through one dispatch.
         let result = match &cfg.checkpoint {
-            None => campaign.run(victim(cfg.die_seed)),
+            None => campaign.run_parallel(cfg.threads, victim(cfg.die_seed)),
             Some((stem, resume)) => {
                 let path = sweep_checkpoint(stem, i);
                 if *resume && path.exists() {
                     campaign
-                        .resume(&path, victim(cfg.die_seed))
+                        .resume_parallel(cfg.threads, &path, victim(cfg.die_seed))
                         .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()))
                 } else {
                     campaign
-                        .run_checkpointed(&path, victim(cfg.die_seed))
+                        .run_checkpointed_parallel(cfg.threads, &path, victim(cfg.die_seed))
                         .unwrap_or_else(|e| panic!("checkpoint to {}: {e}", path.display()))
                 }
             }
@@ -125,7 +136,12 @@ fn sweep_report(cfg: &SweepConfig) -> String {
         ("passes", Value::from(u64::from(cfg.passes))),
         ("sweeps", Value::Array(sweeps)),
     ])
-    .render_pretty()
+}
+
+/// The rendered deterministic report (the smoke gates compare this
+/// byte-wise).
+fn sweep_report(cfg: &SweepConfig) -> String {
+    sweep_document(cfg).render_pretty()
 }
 
 /// Keys any schema-compatible report must contain; CI fails on drift.
@@ -150,19 +166,25 @@ const SCHEMA_KEYS: [&str; 14] = [
 /// schema, not the user's environment.
 const SMOKE_SEEDS: (u64, u64) = (0x0020_22A5_B007, 0x000F_A017_C0DE);
 
-fn smoke() -> i32 {
+fn smoke(threads: usize) -> i32 {
     let cfg = SweepConfig {
         die_seed: SMOKE_SEEDS.0,
         fault_seed: SMOKE_SEEDS.1,
         reps: 4,
         passes: 3,
+        threads: 1,
         deadline_ns: None,
         checkpoint: None,
     };
     let a = sweep_report(&cfg);
-    let b = sweep_report(&cfg);
+    // The second run re-runs under `--threads`: the byte-compare gates
+    // both plain reproducibility and determinism under parallelism.
+    let b = sweep_report(&SweepConfig { threads, ..cfg });
     if a != b {
-        eprintln!("SMOKE FAIL: same-seed campaign reports differ byte-wise");
+        eprintln!(
+            "SMOKE FAIL: same-seed campaign reports differ byte-wise \
+             (sequential vs {threads} threads)"
+        );
         return 1;
     }
     for key in SCHEMA_KEYS {
@@ -171,16 +193,24 @@ fn smoke() -> i32 {
             return 1;
         }
     }
-    println!("smoke ok: {} bytes, byte-identical across runs, schema intact", a.len());
+    println!(
+        "smoke ok: {} bytes, byte-identical across runs (1 vs {threads} threads), schema intact",
+        a.len()
+    );
     0
 }
 
 /// Kill-and-resume determinism gate: run a fixed-seed campaign to
 /// completion, then run the same campaign again but stop it after half
-/// the repetitions (simulating a kill), resume from the checkpoint, and
-/// demand the resumed report byte-match the uninterrupted one.
-fn resume_smoke() -> i32 {
+/// the repetitions (simulating a kill) under `--threads`, resume from
+/// the checkpoint under a *different* thread count, and demand the
+/// resumed report byte-match the uninterrupted one — checkpoints must
+/// compose across thread counts.
+fn resume_smoke(threads: usize) -> i32 {
     let (die_seed, fault_seed, reps, kill_at) = (SMOKE_SEEDS.0, SMOKE_SEEDS.1, 6, 3);
+    // Crossing thread counts is the point of the gate; with
+    // `--threads 1` the resume side exercises the parallel runner.
+    let resume_threads = if threads > 1 { 1 } else { 2 };
     let plan = FaultPlan::new(fault_seed, FaultRates::uniform(0.2));
     let campaign = Campaign::new(VoltBootAttack::new("TP15").passes(3), plan, reps)
         .retry(RetryPolicy { max_attempts: 3, initial_backoff_ns: 50_000_000 });
@@ -189,11 +219,11 @@ fn resume_smoke() -> i32 {
 
     let path = std::env::temp_dir()
         .join(format!("voltboot_resume_smoke_{}.checkpoint", std::process::id()));
-    if let Err(e) = campaign.run_partial(kill_at, &path, victim(die_seed)) {
+    if let Err(e) = campaign.run_partial_parallel(threads, kill_at, &path, victim(die_seed)) {
         eprintln!("RESUME SMOKE FAIL: partial run did not checkpoint: {e}");
         return 1;
     }
-    let resumed = match campaign.resume(&path, victim(die_seed)) {
+    let resumed = match campaign.resume_parallel(resume_threads, &path, victim(die_seed)) {
         Ok(result) => result.to_json(),
         Err(e) => {
             eprintln!("RESUME SMOKE FAIL: resume from {}: {e}", path.display());
@@ -204,16 +234,16 @@ fn resume_smoke() -> i32 {
 
     if resumed != uninterrupted {
         eprintln!(
-            "RESUME SMOKE FAIL: report resumed from rep {kill_at} differs from the \
-             uninterrupted run ({} vs {} bytes)",
+            "RESUME SMOKE FAIL: report killed at rep {kill_at} under {threads} threads and \
+             resumed under {resume_threads} differs from the uninterrupted run ({} vs {} bytes)",
             resumed.len(),
             uninterrupted.len()
         );
         return 1;
     }
     println!(
-        "resume smoke ok: killed at rep {kill_at}/{reps}, resumed report is byte-identical \
-         ({} bytes)",
+        "resume smoke ok: killed at rep {kill_at}/{reps} under {threads} threads, resumed under \
+         {resume_threads}, report is byte-identical ({} bytes)",
         resumed.len()
     );
     0
@@ -232,24 +262,43 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parsed_flag(&args, "--threads").unwrap_or(1).max(1);
     if args.iter().any(|a| a == "--smoke") {
-        std::process::exit(smoke());
+        std::process::exit(smoke(threads.max(2)));
     }
     if args.iter().any(|a| a == "--resume-smoke") {
-        std::process::exit(resume_smoke());
+        std::process::exit(resume_smoke(threads));
     }
     let cfg = SweepConfig {
         die_seed: voltboot_bench::seed(),
         fault_seed: voltboot_bench::fault_seed(),
         reps: parsed_flag(&args, "--reps").unwrap_or(100),
         passes: parsed_flag(&args, "--passes").unwrap_or(1),
+        threads,
         deadline_ns: parsed_flag(&args, "--deadline-ns"),
         checkpoint: flag_value(&args, "--checkpoint")
             .map(|p| (PathBuf::from(p), args.iter().any(|a| a == "--resume"))),
     };
 
     voltboot_bench::banner("CAMPAIGN", "attack replay under fault-rate sweeps");
-    let report = sweep_report(&cfg);
+    let started = std::time::Instant::now();
+    let doc = sweep_document(&cfg);
+    let elapsed_s = started.elapsed().as_secs_f64();
+    // Wall-clock scaling stats ride outside the deterministic document:
+    // the campaign outputs stay byte-identical across thread counts,
+    // the measured rep throughput is what `--threads` buys.
+    let total_reps = cfg.reps * SWEEP_RATES.len() as u64;
+    let reps_per_s = if elapsed_s > 0.0 { total_reps as f64 / elapsed_s } else { 0.0 };
+    let Value::Object(mut pairs) = doc else { unreachable!("report document is an object") };
+    pairs.push(("threads".to_string(), Value::from(cfg.threads)));
+    pairs.push(("elapsed_s".to_string(), Value::from(elapsed_s)));
+    pairs.push(("reps_per_s".to_string(), Value::from(reps_per_s)));
+    let report = Value::Object(pairs).render_pretty();
     std::fs::write("BENCH_campaign.json", &report).expect("write BENCH_campaign.json");
-    println!("wrote BENCH_campaign.json ({} bytes)", report.len());
+    println!(
+        "wrote BENCH_campaign.json ({} bytes): {total_reps} reps on {} threads in {elapsed_s:.2} s \
+         ({reps_per_s:.2} reps/s)",
+        report.len(),
+        cfg.threads
+    );
 }

@@ -620,8 +620,9 @@ impl VoltBootAttack {
     /// The voted multi-pass readout: cross-check every unit over its
     /// first two surviving passes, selectively re-read only the units
     /// whose CRCs disagree, and resolve disagreements by per-bit
-    /// majority vote ([`recover::vote`]) with dropped passes as
-    /// erasures.
+    /// majority vote ([`recover::vote_owned`]) with dropped passes as
+    /// erasures. The vote consumes the per-unit dumps, so no pass
+    /// buffer is ever copied.
     fn extract_voted(
         &self,
         soc: &Soc,
@@ -680,12 +681,12 @@ impl VoltBootAttack {
         let mut flipped_total = 0usize;
         let mut repaired_total = 0u64;
         let mut unresolved_total = 0u64;
-        for (u, unit) in units.iter().enumerate() {
+        for (u, unit) in units.into_iter().enumerate() {
             // Passes aligned to their pass index; `None` is an erasure
             // (dropped pass) or a read selective repair skipped.
             let mut pass_bits: Vec<Option<PackedBits>> = vec![None; passes as usize];
             for &p in available.iter().take(2) {
-                let (bits, flipped) = read_pass(u, unit, p)?;
+                let (bits, flipped) = read_pass(u, &unit, p)?;
                 unit_reads += 1;
                 flipped_total += flipped;
                 pass_bits[p as usize] = Some(bits);
@@ -703,17 +704,19 @@ impl VoltBootAttack {
             if !agree {
                 units_flagged += 1;
                 for &p in available.iter().skip(2) {
-                    let (bits, flipped) = read_pass(u, unit, p)?;
+                    let (bits, flipped) = read_pass(u, &unit, p)?;
                     unit_reads += 1;
                     flipped_total += flipped;
                     pass_bits[p as usize] = Some(bits);
                 }
             }
-            let refs: Vec<Option<&PackedBits>> = pass_bits.iter().map(Option::as_ref).collect();
-            let (resolved, map) = recover::vote(&refs).map_err(AttackError::from)?;
+            // Owned vote: the resolved image is voted *into* the first
+            // surviving pass's buffer, and the unit's label is moved —
+            // nothing in the per-unit hot loop copies a dump.
+            let (resolved, map) = recover::vote_owned(pass_bits).map_err(AttackError::from)?;
             repaired_total += map.repaired;
             unresolved_total += map.unresolved;
-            let image = ExtractedImage::new(unit.source.clone(), resolved);
+            let image = ExtractedImage::new(unit.source, resolved);
             confidence.push(ImageConfidence {
                 source: image.source.clone(),
                 crc64: image.crc64,

@@ -22,12 +22,24 @@
 //! Everything the run produces — per-step timings, fault counters, the
 //! per-rep records — exports as hand-rolled JSON that is byte-identical
 //! across runs with the same seeds.
+//!
+//! Repetitions are independent by construction (counter-mode faults, a
+//! fresh victim per attempt, per-rep telemetry on the virtual clock), so
+//! campaigns also run **sharded across threads**
+//! ([`Campaign::run_parallel`] and friends): workers claim reps from a
+//! shared counter and a merger absorbs the results back in rep order,
+//! keeping the report and every checkpoint byte-identical to the
+//! sequential run's for any thread count.
 
 use crate::attack::{AttackContext, VoltBootAttack};
 use crate::fault::FaultPlan;
 use crate::recover::{self, ConfidenceMap};
+use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use voltboot_soc::Soc;
+use voltboot_sram::par;
 use voltboot_telemetry::{json, parse, Recorder};
 
 /// Retry behaviour for failed attack attempts within one repetition.
@@ -299,26 +311,49 @@ pub struct Checkpoint {
     pub recorder: Recorder,
 }
 
-impl Checkpoint {
-    fn payload_value(&self) -> json::Value {
-        json::Value::object(vec![
-            ("voltboot_checkpoint", json::Value::from(CHECKPOINT_VERSION)),
-            ("fault_seed", json::Value::from(self.fault_seed)),
-            ("reps", json::Value::from(self.reps)),
-            ("next_rep", json::Value::from(self.next_rep)),
-            ("records", json::Value::Array(self.records.iter().map(RepRecord::to_value).collect())),
-            ("recorder", self.recorder.to_value()),
-        ])
-    }
+/// Renders a checkpoint from borrowed campaign state, sealing a CRC-64
+/// over the payload's compact rendering as the trailing `crc64` key.
+/// The checkpointing loops call this directly so writing a checkpoint
+/// after every repetition never clones the accumulated records.
+fn render_checkpoint(
+    fault_seed: u64,
+    reps: u64,
+    next_rep: u64,
+    records: &[RepRecord],
+    recorder: &Recorder,
+) -> String {
+    let payload = json::Value::object(vec![
+        ("voltboot_checkpoint", json::Value::from(CHECKPOINT_VERSION)),
+        ("fault_seed", json::Value::from(fault_seed)),
+        ("reps", json::Value::from(reps)),
+        ("next_rep", json::Value::from(next_rep)),
+        ("records", json::Value::Array(records.iter().map(RepRecord::to_value).collect())),
+        ("recorder", recorder.to_value()),
+    ]);
+    let crc = recover::crc64(payload.render().as_bytes());
+    let json::Value::Object(mut pairs) = payload else { unreachable!("payload is an object") };
+    pairs.push(("crc64".to_string(), json::Value::from(crc)));
+    json::Value::Object(pairs).render_pretty()
+}
 
+/// Writes a checkpoint assembled from borrowed campaign state to `path`.
+fn save_checkpoint(
+    path: &Path,
+    fault_seed: u64,
+    reps: u64,
+    next_rep: u64,
+    records: &[RepRecord],
+    recorder: &Recorder,
+) -> Result<(), CampaignError> {
+    std::fs::write(path, render_checkpoint(fault_seed, reps, next_rep, records, recorder))
+        .map_err(CampaignError::Io)
+}
+
+impl Checkpoint {
     /// Renders the checkpoint, sealing a CRC-64 over the payload's
     /// compact rendering as the trailing `crc64` key.
     pub fn to_json(&self) -> String {
-        let payload = self.payload_value();
-        let crc = recover::crc64(payload.render().as_bytes());
-        let json::Value::Object(mut pairs) = payload else { unreachable!("payload is an object") };
-        pairs.push(("crc64".to_string(), json::Value::from(crc)));
-        json::Value::Object(pairs).render_pretty()
+        render_checkpoint(self.fault_seed, self.reps, self.next_rep, &self.records, &self.recorder)
     }
 
     /// Parses and verifies a checkpoint rendered by
@@ -412,6 +447,31 @@ impl Checkpoint {
     }
 }
 
+/// Shared state between the parallel scheduler's workers and its
+/// merger: finished reps not yet absorbed, keyed by rep index, plus the
+/// count of workers still running (so the merger never waits on a dead
+/// pool).
+struct MergeState {
+    ready: BTreeMap<u64, (RepRecord, Recorder)>,
+    live_workers: usize,
+}
+
+/// Drop guard a worker holds for its whole run: on any exit — normal or
+/// panic — it decrements the live-worker count and wakes the merger.
+struct WorkerExit<'a> {
+    state: &'a Mutex<MergeState>,
+    wake: &'a Condvar,
+}
+
+impl Drop for WorkerExit<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.live_workers -= 1;
+        }
+        self.wake.notify_all();
+    }
+}
+
 /// A campaign: one attack, one fault plan, N repetitions.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -487,7 +547,15 @@ impl Campaign {
         path: impl AsRef<Path>,
         victim: impl FnMut(u64) -> Soc,
     ) -> Result<CampaignResult, CampaignError> {
-        let cp = Checkpoint::load(path.as_ref())?;
+        let cp = self.load_validated(path.as_ref())?;
+        self.run_range(cp.next_rep, self.reps, cp.records, cp.recorder, Some(path.as_ref()), victim)
+    }
+
+    /// Loads the checkpoint at `path` and validates it against this
+    /// campaign's configuration (shared by [`Campaign::resume`] and
+    /// [`Campaign::resume_parallel`]).
+    fn load_validated(&self, path: &Path) -> Result<Checkpoint, CampaignError> {
+        let cp = Checkpoint::load(path)?;
         if cp.fault_seed != self.plan.seed() {
             return Err(CampaignError::Mismatch {
                 detail: format!(
@@ -502,7 +570,7 @@ impl Campaign {
                 detail: format!("{} reps in checkpoint, {} in campaign", cp.reps, self.reps),
             });
         }
-        self.run_range(cp.next_rep, self.reps, cp.records, cp.recorder, Some(path.as_ref()), victim)
+        Ok(cp)
     }
 
     /// Runs only repetitions `0..upto` and leaves the checkpoint behind
@@ -538,15 +606,220 @@ impl Campaign {
         for rep in start..end {
             records.push(self.run_rep(rep, &rec, &mut victim));
             if let Some(path) = checkpoint {
-                Checkpoint {
-                    fault_seed: self.plan.seed(),
-                    reps: self.reps,
-                    next_rep: rep + 1,
-                    records: records.clone(),
-                    recorder: rec.clone(),
-                }
-                .save(path)?;
+                save_checkpoint(path, self.plan.seed(), self.reps, rep + 1, &records, &rec)?;
             }
+        }
+        Ok(CampaignResult { plan: self.plan, reps: self.reps, records, recorder: rec })
+    }
+
+    /// Runs the campaign with repetitions sharded across `threads`
+    /// worker threads.
+    ///
+    /// The scheduler is deterministic end-to-end, whatever the thread
+    /// count: each repetition draws its faults from the counter-mode
+    /// plan's per-rep sub-stream ([`FaultPlan::rep_stream`]), records
+    /// telemetry into a forked virtual-clock sub-recorder
+    /// (`Recorder::fork`), and the merger absorbs completed repetitions
+    /// strictly in rep order — so the returned [`CampaignResult`] and
+    /// its JSON report are **byte-identical** to [`Campaign::run`]'s.
+    /// `threads <= 1` runs the sequential path.
+    ///
+    /// `victim` is called concurrently from several workers; like the
+    /// sequential path it must be a pure function of the rep index for
+    /// the campaign to be deterministic.
+    pub fn run_parallel(
+        &self,
+        threads: usize,
+        victim: impl Fn(u64) -> Soc + Sync,
+    ) -> CampaignResult {
+        self.run_range_parallel(0, self.reps, Vec::new(), Recorder::new(), None, threads, &victim)
+            .expect("no checkpoint configured, no i/o to fail")
+    }
+
+    /// [`Campaign::run_parallel`] with a [`Checkpoint`] written to
+    /// `path` every time the merged prefix grows, exactly as
+    /// [`Campaign::run_checkpointed`] writes one per completed rep.
+    /// Only fully-merged rep prefixes are ever checkpointed, so a
+    /// checkpoint written by an N-thread run resumes correctly under
+    /// any thread count — in-flight reps simply re-run.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] when a checkpoint write fails.
+    pub fn run_checkpointed_parallel(
+        &self,
+        threads: usize,
+        path: impl AsRef<Path>,
+        victim: impl Fn(u64) -> Soc + Sync,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.run_range_parallel(
+            0,
+            self.reps,
+            Vec::new(),
+            Recorder::new(),
+            Some(path.as_ref()),
+            threads,
+            &victim,
+        )
+    }
+
+    /// [`Campaign::resume`] across `threads` workers. Checkpoints
+    /// compose across thread counts: the checkpoint stores only the
+    /// merged rep prefix plus the absorbed telemetry, which is the same
+    /// state the sequential runner would have at that rep.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::resume`].
+    pub fn resume_parallel(
+        &self,
+        threads: usize,
+        path: impl AsRef<Path>,
+        victim: impl Fn(u64) -> Soc + Sync,
+    ) -> Result<CampaignResult, CampaignError> {
+        let cp = self.load_validated(path.as_ref())?;
+        self.run_range_parallel(
+            cp.next_rep,
+            self.reps,
+            cp.records,
+            cp.recorder,
+            Some(path.as_ref()),
+            threads,
+            &victim,
+        )
+    }
+
+    /// [`Campaign::run_partial`] across `threads` workers — runs only
+    /// repetitions `0..upto` and leaves the checkpoint behind, for the
+    /// cross-thread-count resume tests and CI smoke.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] when a checkpoint write fails.
+    pub fn run_partial_parallel(
+        &self,
+        threads: usize,
+        upto: u64,
+        path: impl AsRef<Path>,
+        victim: impl Fn(u64) -> Soc + Sync,
+    ) -> Result<(), CampaignError> {
+        let upto = upto.min(self.reps);
+        self.run_range_parallel(
+            0,
+            upto,
+            Vec::new(),
+            Recorder::new(),
+            Some(path.as_ref()),
+            threads,
+            &victim,
+        )
+        .map(|_| ())
+    }
+
+    /// The parallel scheduler behind the `*_parallel` entry points.
+    ///
+    /// Workers claim repetition indices from a shared atomic counter
+    /// (work stealing in its simplest form: a fast rep frees its worker
+    /// to claim the next one immediately), run each claimed rep against
+    /// a forked sub-recorder, and post `(rep, record, sub)` into a
+    /// results map. The calling thread is the merger: it absorbs
+    /// results strictly in rep order, which rebuilds the exact counter,
+    /// event, and clock state the sequential loop would have — and
+    /// checkpoints each newly merged prefix.
+    ///
+    /// Worker panics cannot deadlock the merger: a drop guard
+    /// decrements the live-worker count and wakes the merger, which
+    /// stops waiting for reps that will never arrive and lets the scope
+    /// propagate the panic.
+    #[allow(clippy::too_many_arguments)]
+    fn run_range_parallel(
+        &self,
+        start: u64,
+        end: u64,
+        mut records: Vec<RepRecord>,
+        rec: Recorder,
+        checkpoint: Option<&Path>,
+        threads: usize,
+        victim: &(impl Fn(u64) -> Soc + Sync),
+    ) -> Result<CampaignResult, CampaignError> {
+        let pending = end.saturating_sub(start);
+        let workers = threads.clamp(1, pending.clamp(1, 1024) as usize);
+        if workers <= 1 {
+            return self.run_range(start, end, records, rec, checkpoint, victim);
+        }
+        records.reserve((pending.min(1024)) as usize);
+        // Rep-level and word-level parallelism share one conceptual
+        // pool: each worker's inner fan-out gets an equal slice of the
+        // machine instead of multiplying it.
+        let inner_budget = (par::thread_count() / workers).max(1);
+        let next = AtomicU64::new(start);
+        let state = Mutex::new(MergeState { ready: BTreeMap::new(), live_workers: workers });
+        let merged_one = Condvar::new();
+        let mut save_err: Option<CampaignError> = None;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let _exit = WorkerExit { state: &state, wake: &merged_one };
+                    loop {
+                        let rep = next.fetch_add(1, Ordering::Relaxed);
+                        if rep >= end {
+                            break;
+                        }
+                        let sub = rec.fork();
+                        let record = par::with_budget(inner_budget, || {
+                            self.run_rep(rep, &sub, &mut |r| victim(r))
+                        });
+                        let mut st = state.lock().expect("scheduler state poisoned");
+                        st.ready.insert(rep, (record, sub));
+                        merged_one.notify_all();
+                    }
+                });
+            }
+            let mut merged = start;
+            while merged < end {
+                let entry = {
+                    let mut st = state.lock().expect("scheduler state poisoned");
+                    loop {
+                        if let Some(e) = st.ready.remove(&merged) {
+                            break Some(e);
+                        }
+                        if st.live_workers == 0 {
+                            break None;
+                        }
+                        st = merged_one.wait(st).expect("scheduler state poisoned");
+                    }
+                };
+                let Some((record, sub)) = entry else {
+                    // A worker died without posting this rep; stop
+                    // merging and let the scope propagate its panic.
+                    break;
+                };
+                rec.absorb(&sub);
+                records.push(record);
+                merged += 1;
+                if save_err.is_none() {
+                    if let Some(path) = checkpoint {
+                        save_err = save_checkpoint(
+                            path,
+                            self.plan.seed(),
+                            self.reps,
+                            merged,
+                            &records,
+                            &rec,
+                        )
+                        .err();
+                        if save_err.is_some() {
+                            // Checkpointing broke: stop handing out new
+                            // reps (workers drain what they claimed) and
+                            // report the error, like the sequential path.
+                            next.store(end, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(e) = save_err {
+            return Err(e);
         }
         Ok(CampaignResult { plan: self.plan, reps: self.reps, records, recorder: rec })
     }
@@ -558,10 +831,13 @@ impl Campaign {
         let max_attempts = self.retry.max_attempts.max(1);
         let mut faults_fired: Vec<String> = Vec::new();
         let mut record = None;
+        // This rep's split of the fault plan: stateless, so reps can run
+        // in any order (or concurrently) with identical draws.
+        let faults_of = self.plan.rep_stream(rep);
 
         for attempt in 0..max_attempts {
             rec.incr("campaign.attempts", 1);
-            let faults = self.plan.draw(rep, attempt);
+            let faults = faults_of.draw(attempt);
             faults_fired.extend(faults.fired().iter().map(|s| s.to_string()));
 
             let mut soc = victim(rep);

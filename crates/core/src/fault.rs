@@ -215,6 +215,42 @@ impl FaultPlan {
     pub fn pass_erased(dropout_seed: u64, pass: u32) -> bool {
         unit(mix64(dropout_seed ^ u64::from(pass).wrapping_mul(0xA076_1D64_78BD_642F))) < 0.5
     }
+
+    /// Splits off repetition `rep`'s fault sub-stream.
+    ///
+    /// The handle is a pure `(plan, rep)` pair — counter mode means
+    /// there is no stream state to advance or hand between threads, so
+    /// sub-streams for different reps can be drawn from concurrently
+    /// and in any order while staying draw-for-draw identical to
+    /// `plan.draw(rep, attempt)`. This is the splitting rule the
+    /// parallel campaign scheduler relies on: shard reps across
+    /// workers, give each worker its rep's stream, and the fault
+    /// history is independent of the schedule.
+    pub fn rep_stream(&self, rep: u64) -> RepFaultStream {
+        RepFaultStream { plan: *self, rep }
+    }
+}
+
+/// One repetition's view of a [`FaultPlan`]: draws are indexed by
+/// attempt only, with the rep id baked in. See
+/// [`FaultPlan::rep_stream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepFaultStream {
+    plan: FaultPlan,
+    rep: u64,
+}
+
+impl RepFaultStream {
+    /// The repetition this stream belongs to.
+    pub fn rep(&self) -> u64 {
+        self.rep
+    }
+
+    /// Draws the faults for attempt `attempt` of this repetition —
+    /// identical to `plan.draw(self.rep(), attempt)`.
+    pub fn draw(&self, attempt: u32) -> StepFaults {
+        self.plan.draw(self.rep, attempt)
+    }
 }
 
 /// Flips roughly `fraction * bits.len()` bits of `bits` at deterministic
@@ -309,6 +345,20 @@ mod tests {
         );
         let count = erased.iter().filter(|&&e| e).count();
         assert!((16..48).contains(&count), "erasures should be roughly balanced: {count}/64");
+    }
+
+    #[test]
+    fn rep_streams_match_direct_draws_in_any_order() {
+        let plan = FaultPlan::new(0xFEED, FaultRates::uniform(0.4));
+        // Split all streams up front, then draw from them interleaved
+        // and backwards — the schedule a parallel campaign produces.
+        let streams: Vec<RepFaultStream> = (0..16).map(|r| plan.rep_stream(r)).collect();
+        for attempt in (0..4).rev() {
+            for s in streams.iter().rev() {
+                assert_eq!(s.draw(attempt), plan.draw(s.rep(), attempt));
+            }
+        }
+        assert_eq!(streams[5].rep(), 5);
     }
 
     #[test]

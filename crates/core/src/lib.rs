@@ -78,7 +78,7 @@ pub use campaign::{
     Campaign, CampaignError, CampaignResult, Checkpoint, RepRecord, RepStatus, RetryPolicy,
 };
 pub use error::AttackError;
-pub use fault::{FaultPlan, FaultRates, StepFaults};
+pub use fault::{FaultPlan, FaultRates, RepFaultStream, StepFaults};
 pub use recover::{ConfidenceMap, IntegrityError};
 
 /// Re-export of the telemetry substrate (recorder, spans, JSON builder).

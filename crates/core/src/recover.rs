@@ -30,22 +30,63 @@ pub const MAX_PASSES: u32 = 15;
 // CRC-64
 // ----------------------------------------------------------------------
 
+/// The slice-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-
+/// time table; `TABLES[j][i]` advances the CRC by `j` further zero bytes,
+/// so eight table reads consume a whole aligned `u64` per step.
+static TABLES: [[u64; 256]; 8] = crc64_tables();
+
 /// CRC-64/XZ (reflected, polynomial `0x42F0E1EBA9EA3693`, init and
 /// xorout all-ones) — the variant `xz` and `liblzma` use, implemented
-/// table-driven with no dependencies.
+/// slice-by-8 with const-fn-generated tables and no dependencies.
+/// Digests are identical to the byte-at-a-time reference
+/// ([`crc64_bytewise`]) at every input length.
 pub fn crc64(bytes: &[u8]) -> u64 {
-    const TABLE: [u64; 256] = crc64_table();
     let mut crc = !0u64;
-    for &b in bytes {
-        crc = TABLE[((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        crc = step_word(crc, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    for &b in chunks.remainder() {
+        crc = step_byte(crc, b);
     }
     !crc
 }
 
-const fn crc64_table() -> [u64; 256] {
+/// The byte-at-a-time reference implementation of [`crc64`] — same
+/// polynomial, same parameters, one table read per byte. Kept as the
+/// oracle the slice-by-8 path is tested against.
+pub fn crc64_bytewise(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = step_byte(crc, b);
+    }
+    !crc
+}
+
+/// Advances `crc` by one input byte.
+#[inline]
+fn step_byte(crc: u64, b: u8) -> u64 {
+    TABLES[0][((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8)
+}
+
+/// Advances `crc` by eight input bytes packed little-endian into `w`.
+#[inline]
+fn step_word(crc: u64, w: u64) -> u64 {
+    let x = crc ^ w;
+    TABLES[7][(x & 0xFF) as usize]
+        ^ TABLES[6][((x >> 8) & 0xFF) as usize]
+        ^ TABLES[5][((x >> 16) & 0xFF) as usize]
+        ^ TABLES[4][((x >> 24) & 0xFF) as usize]
+        ^ TABLES[3][((x >> 32) & 0xFF) as usize]
+        ^ TABLES[2][((x >> 40) & 0xFF) as usize]
+        ^ TABLES[1][((x >> 48) & 0xFF) as usize]
+        ^ TABLES[0][((x >> 56) & 0xFF) as usize]
+}
+
+const fn crc64_tables() -> [[u64; 256]; 8] {
     // Reflected form of polynomial 0x42F0E1EBA9EA3693.
     const POLY: u64 = 0xC96C_5795_D787_0F42;
-    let mut table = [0u64; 256];
+    let mut tables = [[0u64; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u64;
@@ -54,15 +95,45 @@ const fn crc64_table() -> [u64; 256] {
             crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut i = 0;
+    while i < 256 {
+        let mut j = 1;
+        let mut crc = tables[0][i];
+        while j < 8 {
+            crc = tables[0][(crc & 0xFF) as usize] ^ (crc >> 8);
+            tables[j][i] = crc;
+            j += 1;
+        }
+        i += 1;
+    }
+    tables
 }
 
-/// [`crc64`] over a packed bit image's byte representation.
+/// [`crc64`] over a packed bit image's byte representation, computed
+/// directly from the backing `u64` words — no intermediate byte buffer.
+/// A word's little-endian bytes are exactly the image's byte view at
+/// that offset (and tail bits beyond the length are zero by invariant),
+/// so this equals `crc64(&bits.to_bytes())` without materialising the
+/// copy on every seal and cross-check.
 pub fn crc64_bits(bits: &PackedBits) -> u64 {
-    crc64(&bits.to_bytes())
+    let nbytes = bits.len().div_ceil(8);
+    let words = bits.words();
+    let full_words = nbytes / 8;
+    let mut crc = !0u64;
+    for &w in &words[..full_words] {
+        crc = step_word(crc, w);
+    }
+    let tail_bytes = nbytes % 8;
+    if tail_bytes > 0 {
+        let last = words[full_words].to_le_bytes();
+        for &b in &last[..tail_bytes] {
+            crc = step_byte(crc, b);
+        }
+    }
+    !crc
 }
 
 // ----------------------------------------------------------------------
@@ -197,23 +268,59 @@ pub fn vote(passes: &[Option<&PackedBits>]) -> Result<(PackedBits, ConfidenceMap
         return Err(IntegrityError::TooManyPasses { requested: passes.len() });
     }
     let available: Vec<&PackedBits> = passes.iter().filter_map(|p| *p).collect();
-    let first = *available.first().ok_or(IntegrityError::AllPassesErased)?;
-    for p in &available {
-        if p.len() != first.len() {
-            return Err(IntegrityError::LengthMismatch { expected: first.len(), actual: p.len() });
+    let (&first, rest) = available.split_first().ok_or(IntegrityError::AllPassesErased)?;
+    let mut resolved = first.clone();
+    let conf = vote_into(&mut resolved, rest)?;
+    Ok((resolved, conf))
+}
+
+/// [`vote`] over owned passes: consumes the buffers and resolves *into*
+/// the first available pass instead of cloning it. Semantics (erasures,
+/// ties, errors, confidence accounting) are identical to [`vote`] —
+/// this is the zero-copy entry point for the multi-pass readout hot
+/// path, where every pass is a fresh megabit dump nobody needs
+/// afterwards.
+pub fn vote_owned(
+    mut passes: Vec<Option<PackedBits>>,
+) -> Result<(PackedBits, ConfidenceMap), IntegrityError> {
+    if passes.len() > MAX_PASSES as usize {
+        return Err(IntegrityError::TooManyPasses { requested: passes.len() });
+    }
+    let first_at =
+        passes.iter().position(|p| p.is_some()).ok_or(IntegrityError::AllPassesErased)?;
+    let mut resolved = passes[first_at].take().expect("position() found it");
+    let rest: Vec<&PackedBits> = passes[first_at..].iter().filter_map(|p| p.as_ref()).collect();
+    let conf = vote_into(&mut resolved, &rest)?;
+    Ok((resolved, conf))
+}
+
+/// Shared voting core: resolves `resolved` (the first available pass,
+/// also the tie-breaking reference) against the `rest` of the available
+/// passes in place, returning the confidence accounting. Pass counts
+/// and erasures are already dealt with by the callers; `resolved`
+/// counts as one vote.
+fn vote_into(
+    resolved: &mut PackedBits,
+    rest: &[&PackedBits],
+) -> Result<ConfidenceMap, IntegrityError> {
+    for p in rest {
+        if p.len() != resolved.len() {
+            return Err(IntegrityError::LengthMismatch {
+                expected: resolved.len(),
+                actual: p.len(),
+            });
         }
     }
 
-    let k = available.len();
-    let mut resolved = first.clone();
+    let k = rest.len() + 1;
     let mut conf = ConfidenceMap {
-        total_bits: first.len() as u64,
+        total_bits: resolved.len() as u64,
         votes: k as u32,
         ..ConfidenceMap::default()
     };
     if k == 1 {
         conf.unanimous = conf.total_bits;
-        return Ok((resolved, conf));
+        return Ok(conf);
     }
 
     // Word-parallel resolution: per-bit vote counts are kept in four
@@ -221,13 +328,13 @@ pub fn vote(passes: &[Option<&PackedBits>]) -> Result<(PackedBits, ConfidenceMap
     // a ripple carry — 64 bits vote at once per word.
     let majority_threshold = (k / 2) as u64; // strict majority = count > threshold
     let ties_possible = k.is_multiple_of(2);
-    for w in 0..first.word_len() {
-        let valid = first.valid_mask(w);
+    for w in 0..resolved.word_len() {
+        let valid = resolved.valid_mask(w);
+        let refw = resolved.words()[w];
         let mut planes = [0u64; 4];
         let mut all_and = !0u64;
         let mut all_or = 0u64;
-        for p in &available {
-            let x = p.words()[w];
+        for x in std::iter::once(refw).chain(rest.iter().map(|p| p.words()[w])) {
             all_and &= x;
             all_or |= x;
             let mut carry = x;
@@ -250,13 +357,12 @@ pub fn vote(passes: &[Option<&PackedBits>]) -> Result<(PackedBits, ConfidenceMap
         let tie = if ties_possible { eq & valid & !unanimous } else { 0 };
         let repaired = valid & !unanimous & !tie;
         // Majority-one bits set; tied bits keep the reference pass.
-        let refw = first.words()[w];
         resolved.words_mut()[w] = (gt | (tie & refw)) & valid;
         conf.unanimous += unanimous.count_ones() as u64;
         conf.unresolved += tie.count_ones() as u64;
         conf.repaired += repaired.count_ones() as u64;
     }
-    Ok((resolved, conf))
+    Ok(conf)
 }
 
 #[cfg(test)]
@@ -269,6 +375,46 @@ mod tests {
         assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
         assert_eq!(crc64(b""), 0);
         assert_ne!(crc64(b"a"), crc64(b"b"));
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise_reference() {
+        // Deterministic pseudo-random bytes (splitmix64 stream).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u8
+        };
+        // Boundary lengths around the 8-byte slicing granule, plus
+        // larger odd sizes.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 1021, 4096] {
+            let data: Vec<u8> = (0..len).map(|_| next()).collect();
+            assert_eq!(
+                crc64(&data),
+                crc64_bytewise(&data),
+                "slice-by-8 and byte-at-a-time must agree at length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc64_bits_equals_crc64_of_byte_view() {
+        // Bit lengths straddling byte and word boundaries, including a
+        // partial tail byte.
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 127, 128, 130, 1000, 4099] {
+            let mut bits = PackedBits::zeros(len);
+            for i in (0..len).step_by(3) {
+                bits.set(i, true);
+            }
+            assert_eq!(
+                crc64_bits(&bits),
+                crc64(&bits.to_bytes()),
+                "word-wise crc must match the byte-view crc at {len} bits"
+            );
+        }
     }
 
     #[test]
@@ -391,6 +537,30 @@ mod tests {
         assert_eq!(conf.repaired, 4);
         assert_eq!(conf.total_bits, 130);
         assert_eq!(conf.unanimous + conf.repaired + conf.unresolved, 130);
+    }
+
+    #[test]
+    fn vote_owned_matches_borrowed_vote() {
+        let good = bits_of(&[true, false, true, false, true, true, false, false, true]);
+        let mut bad = good.clone();
+        bad.set(0, false);
+        bad.set(5, false);
+        let (want, want_conf) = vote(&[None, Some(&bad), Some(&good), Some(&good)]).unwrap();
+        let (got, got_conf) =
+            vote_owned(vec![None, Some(bad), Some(good.clone()), Some(good)]).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(got_conf, want_conf);
+    }
+
+    #[test]
+    fn vote_owned_rejects_the_same_degenerate_inputs() {
+        assert_eq!(vote_owned(vec![None, None]).unwrap_err(), IntegrityError::AllPassesErased);
+        assert!(matches!(
+            vote_owned(vec![Some(PackedBits::zeros(8)), Some(PackedBits::zeros(16))]).unwrap_err(),
+            IntegrityError::LengthMismatch { expected: 8, actual: 16 }
+        ));
+        let passes: Vec<Option<PackedBits>> = vec![Some(PackedBits::zeros(4)); 16];
+        assert!(matches!(vote_owned(passes), Err(IntegrityError::TooManyPasses { requested: 16 })));
     }
 
     #[test]

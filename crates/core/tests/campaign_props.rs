@@ -1,0 +1,84 @@
+//! Property-based determinism checks for the parallel campaign
+//! scheduler: random campaign configurations must produce byte-identical
+//! reports at every thread count, and checkpoints must compose across
+//! thread counts at any kill point.
+
+use proptest::prelude::*;
+use voltboot::attack::VoltBootAttack;
+use voltboot::campaign::{Campaign, RetryPolicy};
+use voltboot::fault::{FaultPlan, FaultRates};
+use voltboot_armlite::program::builders;
+use voltboot_soc::{devices, Soc};
+
+fn prepared_pi4(seed: u64) -> Soc {
+    let mut soc = devices::raspberry_pi_4(seed);
+    soc.power_on_all();
+    soc.enable_caches(0);
+    soc.run_program(0, &builders::nop_sled(128), 0x10000, 100_000);
+    soc
+}
+
+fn make(fault_seed: u64, faulty: bool, passes: u32, reps: u64) -> Campaign {
+    let rates = if faulty { FaultRates::uniform(0.25) } else { FaultRates::default() };
+    Campaign::new(
+        VoltBootAttack::new("TP15").passes(passes),
+        FaultPlan::new(fault_seed, rates),
+        reps,
+    )
+    .retry(RetryPolicy { max_attempts: 2, initial_backoff_ns: 1_000_000 })
+}
+
+proptest! {
+    // Campaign reps simulate whole power cycles, so a handful of cases
+    // already covers seconds of simulated attack time; the fixed-seed
+    // suite in parallel_campaign.rs backs these up on every run.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `run_parallel(t)` renders byte-identical reports to `run` for
+    /// t ∈ {1, 2, 4} over random configs: reps ≤ 16, faults on or off,
+    /// passes ∈ {1, 3, 5}.
+    #[test]
+    fn run_parallel_bytes_equal_sequential(
+        seed in any::<u64>(),
+        reps in prop_oneof![4 => 1u64..=6, 1 => 7u64..=16],
+        faulty in any::<bool>(),
+        passes in prop_oneof![Just(1u32), Just(3u32), Just(5u32)],
+    ) {
+        let campaign = make(seed, faulty, passes, reps);
+        let victim = move |rep: u64| prepared_pi4(seed ^ rep);
+        let want = campaign.run(victim).to_json();
+        for threads in [1usize, 2, 4] {
+            let got = campaign.run_parallel(threads, victim).to_json();
+            prop_assert_eq!(&got, &want, "thread count {} must not change a byte", threads);
+        }
+    }
+
+    /// A campaign killed at rep k under one thread count resumes under
+    /// another to the uninterrupted run's exact bytes — both directions
+    /// (checkpoint at 4 threads, resume at 1, and vice versa).
+    #[test]
+    fn kill_at_rep_k_resumes_across_thread_counts(
+        seed in any::<u64>(),
+        reps in 2u64..=6,
+        k in 1u64..=5,
+        faulty in any::<bool>(),
+    ) {
+        let k = k.min(reps - 1);
+        let campaign = make(seed, faulty, 3, reps);
+        let victim = move |rep: u64| prepared_pi4(seed ^ rep);
+        let want = campaign.run(victim).to_json();
+        let path = std::env::temp_dir().join(format!(
+            "voltboot_props_cross_{}_{seed:016x}.checkpoint",
+            std::process::id()
+        ));
+
+        campaign.run_partial_parallel(4, k, &path, victim).unwrap();
+        let resumed_seq = campaign.resume_parallel(1, &path, victim).unwrap().to_json();
+        prop_assert_eq!(&resumed_seq, &want, "4-thread checkpoint, 1-thread resume");
+
+        campaign.run_partial_parallel(1, k, &path, victim).unwrap();
+        let resumed_par = campaign.resume_parallel(4, &path, victim).unwrap().to_json();
+        prop_assert_eq!(&resumed_par, &want, "1-thread checkpoint, 4-thread resume");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -149,7 +149,7 @@ impl DiePlanes {
             decay_q: vec![0; cells],
         };
         let grid = DrvGrid::new(dist);
-        let threads = par::thread_count();
+        let threads = par::effective_parallelism();
         if bits < PAR_MIN_BITS || threads <= 1 || words <= 1 {
             build_range(seed, bits, dist, grid, 0, planes.shard_mut(0, words));
             return planes;
@@ -553,6 +553,22 @@ fn valid_mask(bits: usize, word: usize) -> u64 {
     }
 }
 
+/// The number of workers the batched engine actually uses to resolve an
+/// array of `bits` cells from the calling thread: 1 below the
+/// [`PAR_MIN_BITS`] sharding threshold or under an exhausted
+/// [`par::with_budget`] budget, otherwise the shard count `run_words`
+/// splits the word vector into (which can fall short of the pool size
+/// for short arrays). Bench snapshots report this instead of the raw
+/// pool size so the recorded thread count matches what ran.
+pub fn resolution_workers(bits: usize) -> usize {
+    let words = bits.div_ceil(64);
+    let threads = par::effective_parallelism();
+    if bits < PAR_MIN_BITS || threads <= 1 || words <= 1 {
+        return 1;
+    }
+    words.div_ceil(words.div_ceil(threads))
+}
+
 /// Runs `kernel` over the array's words, sharding across scoped threads
 /// when the array is large enough, and sums the per-shard results.
 fn run_words<F>(data: &mut PackedBits, bits: usize, kernel: F) -> usize
@@ -560,7 +576,7 @@ where
     F: Fn(&mut [u64], usize) -> usize + Sync,
 {
     let words = data.words_mut();
-    let threads = par::thread_count();
+    let threads = par::effective_parallelism();
     if bits < PAR_MIN_BITS || threads <= 1 || words.len() <= 1 {
         return kernel(words, 0);
     }

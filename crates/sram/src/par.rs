@@ -6,6 +6,7 @@
 //! is involved, so scheduling never influences results — callers only
 //! hand over work whose output is a pure function of its inputs.
 
+use std::cell::Cell;
 use std::sync::OnceLock;
 
 /// Number of worker threads used for sharded resolution and fan-out.
@@ -25,16 +26,59 @@ pub fn thread_count() -> usize {
     })
 }
 
+thread_local! {
+    /// Per-thread parallelism budget; `None` means "the full pool".
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The parallelism available to work started *on this thread*: the
+/// process-wide [`thread_count`], clamped by the innermost
+/// [`with_budget`] scope (if any).
+///
+/// Layered parallelism uses this instead of `thread_count` directly so
+/// the layers share one conceptual pool: when a campaign runs W
+/// repetition workers, each worker's inner word-level fan-out sees a
+/// budget of roughly `thread_count / W` and stops spawning once the
+/// machine is saturated, instead of multiplying `W × thread_count`
+/// threads.
+pub fn effective_parallelism() -> usize {
+    let cap = BUDGET.with(Cell::get).unwrap_or(usize::MAX);
+    thread_count().min(cap).max(1)
+}
+
+/// Runs `f` with this thread's parallelism budget capped at `budget`
+/// (floored at 1), restoring the previous budget afterwards — panic
+/// included. Nested scopes take the minimum of their caps.
+///
+/// The budget is thread-local: it governs fan-out decisions made on the
+/// calling thread ([`join_all`] / [`join`] running inline instead of
+/// spawning), which is exactly where a rep-level scheduler dispatches
+/// its inner work from.
+pub fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let prev = BUDGET.with(Cell::get);
+    let cap = budget.max(1).min(prev.unwrap_or(usize::MAX));
+    BUDGET.with(|b| b.set(Some(cap)));
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Runs every closure to completion and returns their results in input
 /// order.
 ///
-/// With one job, or when [`thread_count`] is 1, the jobs run inline on
+/// With one job, or when [`effective_parallelism`] is 1 (a single-thread
+/// pool, or the caller's budget is exhausted), the jobs run inline on
 /// the caller's thread. Otherwise each job gets its own scoped thread;
 /// jobs are expected to be coarse (an SRAM array, a whole experiment
 /// cell), so one thread per job is cheaper than queueing machinery. A
 /// panicking job propagates its panic to the caller.
 pub fn join_all<'env, T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>) -> Vec<T> {
-    if jobs.len() <= 1 || thread_count() <= 1 {
+    if jobs.len() <= 1 || effective_parallelism() <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
     crossbeam::thread::scope(|s| {
@@ -53,7 +97,7 @@ pub fn join<A: Send, B: Send>(
     a: impl FnOnce() -> A + Send,
     b: impl FnOnce() -> B + Send,
 ) -> (A, B) {
-    if thread_count() <= 1 {
+    if effective_parallelism() <= 1 {
         return (a(), b());
     }
     crossbeam::thread::scope(|s| {
@@ -81,5 +125,40 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn budget_caps_effective_parallelism_and_restores() {
+        let full = effective_parallelism();
+        assert!(full >= 1);
+        let inside = with_budget(1, || {
+            // Nested scopes take the minimum, and a zero request floors
+            // at 1 instead of deadlocking fan-out logic.
+            assert_eq!(with_budget(0, effective_parallelism), 1);
+            assert_eq!(with_budget(64, effective_parallelism), 1);
+            effective_parallelism()
+        });
+        assert_eq!(inside, 1);
+        assert_eq!(effective_parallelism(), full, "budget must restore on exit");
+    }
+
+    #[test]
+    fn budget_is_restored_after_a_panic() {
+        let full = effective_parallelism();
+        let caught = std::panic::catch_unwind(|| {
+            with_budget(1, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(effective_parallelism(), full);
+    }
+
+    #[test]
+    fn budgeted_join_all_runs_inline_and_preserves_results() {
+        let got = with_budget(1, || {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                (0..9usize).map(|i| Box::new(move || i + 1) as Box<_>).collect();
+            join_all(jobs)
+        });
+        assert_eq!(got, (1..=9usize).collect::<Vec<_>>());
     }
 }

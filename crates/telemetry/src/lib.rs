@@ -143,6 +143,60 @@ impl Recorder {
         Span { rec: self.clone(), name: name.to_string(), start_ns: self.now_ns(), open: true }
     }
 
+    /// A fresh, independent sub-recorder: its own store, virtual clock at
+    /// zero, enabled exactly when `self` is. A parallel campaign hands
+    /// one fork to each repetition so workers never contend on (or
+    /// interleave into) the parent store; [`Recorder::absorb`] merges the
+    /// forks back in deterministic order.
+    pub fn fork(&self) -> Recorder {
+        match &self.inner {
+            Some(_) => Recorder::new(),
+            None => Recorder::disabled(),
+        }
+    }
+
+    /// Merges a forked sub-recorder into this one as if everything the
+    /// fork recorded had happened *now*, sequentially: the fork's events
+    /// are appended with their timestamps shifted by this recorder's
+    /// current clock, counters and span timings are added (both are
+    /// commutative), and the clock advances by the fork's total elapsed
+    /// time. Absorbing forks in the order their work would have run
+    /// sequentially reproduces the sequential recorder's export
+    /// byte-for-byte — the invariant the parallel campaign scheduler's
+    /// byte-identical reports rest on.
+    ///
+    /// Span *ordering* is deterministic by construction: timings live in
+    /// a name-keyed [`BTreeMap`], so merge order cannot reorder the
+    /// export; only event timestamps depend on absorb order.
+    pub fn absorb(&self, sub: &Recorder) {
+        if sub.inner.is_none() {
+            return;
+        }
+        let sub_clock = sub.now_ns();
+        let counters = sub.counters();
+        let timings = sub.timings();
+        let events = sub.events();
+        self.with(|i| {
+            let base = i.clock_ns;
+            for e in events {
+                i.events.push(EventRecord {
+                    at_ns: base.saturating_add(e.at_ns),
+                    name: e.name,
+                    detail: e.detail,
+                });
+            }
+            for (k, v) in counters {
+                *i.counters.entry(k).or_insert(0) += v;
+            }
+            for (k, t) in timings {
+                let slot = i.timings.entry(k).or_default();
+                slot.count += t.count;
+                slot.total_ns += t.total_ns;
+            }
+            i.clock_ns = base.saturating_add(sub_clock);
+        });
+    }
+
     /// Snapshot of all counters.
     pub fn counters(&self) -> BTreeMap<String, u64> {
         self.with(|i| i.counters.clone())
@@ -400,6 +454,78 @@ mod tests {
         ]);
         let err = Recorder::from_value(&bad_counter).unwrap_err();
         assert!(err.detail.contains("counter x"), "{err}");
+    }
+
+    /// Records one "repetition" worth of activity onto `rec`, varying
+    /// with `i` so reps are distinguishable in the merged export.
+    fn record_rep(rec: &Recorder, i: u64) {
+        let s = rec.span("rep");
+        rec.incr("reps", 1);
+        rec.incr(if i.is_multiple_of(2) { "even" } else { "odd" }, i + 1);
+        rec.advance(10 + i);
+        rec.event("tick", &format!("rep {i}"));
+        rec.advance(5);
+        s.end();
+    }
+
+    #[test]
+    fn absorbing_forks_in_order_matches_sequential_recording() {
+        let sequential = Recorder::new();
+        sequential.advance(3); // a non-zero base clock, like a resumed run
+        for i in 0..5 {
+            record_rep(&sequential, i);
+        }
+
+        let merged = Recorder::new();
+        merged.advance(3);
+        // Forks recorded "out of order" (as parallel workers would), then
+        // absorbed in rep order.
+        let forks: Vec<Recorder> = (0..5).map(|_| merged.fork()).collect();
+        for i in (0..5).rev() {
+            record_rep(&forks[i as usize], i);
+        }
+        for fork in &forks {
+            assert!(fork.now_ns() >= 15, "fork clocks start at zero and advance");
+        }
+        for fork in &forks {
+            merged.absorb(fork);
+        }
+
+        assert_eq!(merged.to_json(), sequential.to_json(), "merge must be byte-identical");
+        assert_eq!(merged.counter("reps"), 5);
+        assert_eq!(merged.timings()["rep"].count, 5);
+    }
+
+    #[test]
+    fn fork_of_disabled_recorder_is_disabled_and_absorb_is_inert() {
+        let disabled = Recorder::disabled();
+        assert!(!disabled.fork().is_enabled());
+
+        // Absorbing into a disabled recorder is a no-op.
+        let sub = Recorder::new();
+        sub.incr("x", 1);
+        disabled.absorb(&sub);
+        assert_eq!(disabled.counter("x"), 0);
+
+        // Absorbing a disabled fork changes nothing.
+        let rec = Recorder::new();
+        rec.incr("x", 2);
+        rec.advance(7);
+        let before = rec.to_json();
+        rec.absorb(&Recorder::disabled());
+        assert_eq!(rec.to_json(), before);
+    }
+
+    #[test]
+    fn absorb_shifts_event_timestamps_by_the_base_clock() {
+        let rec = Recorder::new();
+        rec.advance(100);
+        let sub = rec.fork();
+        sub.advance(42);
+        sub.event("e", "sub event");
+        rec.absorb(&sub);
+        assert_eq!(rec.events()[0].at_ns, 142);
+        assert_eq!(rec.now_ns(), 142);
     }
 
     #[test]
