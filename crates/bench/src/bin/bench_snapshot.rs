@@ -3,7 +3,11 @@
 //! Times the hot paths of `sram_physics` (repeated power cycles of a
 //! 1 MiB array, scalar vs batched-warm) and `attack_e2e` (a full board
 //! power cycle), then writes the numbers to `BENCH_sram.json` in the
-//! current directory so successive PRs can compare.
+//! current directory so successive PRs can compare. Also times the
+//! telemetry layer — a disabled `Recorder` on the traced power-cycle
+//! path must cost nothing measurable, and histogram recording must
+//! stay cheap enough to live on hot paths — and writes
+//! `BENCH_telemetry.json`.
 //!
 //! ```text
 //! cargo run --release -p voltboot-bench --bin bench_snapshot
@@ -11,6 +15,8 @@
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+use voltboot::telemetry::hist::Histogram;
+use voltboot::telemetry::Recorder;
 use voltboot_soc::{devices, PowerCycleSpec};
 use voltboot_sram::{ArrayConfig, OffEvent, ResolutionMode, SramArray, Temperature};
 
@@ -35,6 +41,14 @@ fn cycle(s: &mut SramArray, mode: ResolutionMode) {
     s.power_off(OffEvent::unpowered()).unwrap();
     s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
     black_box(s.power_on_with(mode).unwrap().retained);
+}
+
+/// `cycle` through the instrumented entry point instead; with a
+/// disabled recorder this must cost the same as `cycle`.
+fn cycle_traced(s: &mut SramArray, mode: ResolutionMode, rec: &Recorder) {
+    s.power_off(OffEvent::unpowered()).unwrap();
+    s.elapse(Duration::from_millis(20), Temperature::from_celsius(-110.0));
+    black_box(s.power_on_traced(mode, rec).unwrap().retained);
 }
 
 fn main() {
@@ -87,4 +101,69 @@ fn main() {
     );
     std::fs::write("BENCH_sram.json", &json).expect("write BENCH_sram.json");
     println!("wrote BENCH_sram.json");
+
+    // -- telemetry: disabled recorders must be free --------------------
+    // Same plane-cache-warm batched cycle as above, but entered through
+    // the instrumented path with a disabled recorder. The two medians
+    // must be indistinguishable; a generous 50% gate keeps machine
+    // noise from flapping CI while still catching a hot-path `match`
+    // turning into real work.
+    let disabled = Recorder::disabled();
+    cycle_traced(&mut batched, ResolutionMode::Batched, &disabled);
+    let t_plain = time_median(15, || cycle(&mut batched, ResolutionMode::Batched));
+    let t_disabled =
+        time_median(15, || cycle_traced(&mut batched, ResolutionMode::Batched, &disabled));
+    let overhead_pct = (t_disabled.as_secs_f64() / t_plain.as_secs_f64() - 1.0) * 100.0;
+
+    // -- telemetry: histogram record/query throughput ------------------
+    const HIST_OPS: u64 = 1_000_000;
+    let mut hist = Histogram::new();
+    let t_record = time_median(5, || {
+        let mut h = Histogram::new();
+        for i in 0..HIST_OPS {
+            // Spread across many buckets: low singletons through
+            // multi-millisecond log buckets.
+            h.record(black_box(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20));
+        }
+        hist = h;
+    });
+    let t_query = time_median(5, || {
+        for _ in 0..1_000 {
+            black_box((hist.p50(), hist.p90(), hist.p99()));
+        }
+    });
+    let record_mops = HIST_OPS as f64 / t_record.as_secs_f64() / 1e6;
+    let query_kops = 3_000.0 / t_query.as_secs_f64() / 1e3;
+
+    // Recorder-enabled histogram path (mutex + name lookup included).
+    let rec = Recorder::new();
+    let t_rec_hist = time_median(5, || {
+        for i in 0..100_000u64 {
+            rec.record("bench.hist", black_box(i & 0xFFFF));
+        }
+    });
+    let rec_hist_mops = 100_000.0 / t_rec_hist.as_secs_f64() / 1e6;
+
+    println!("disabled-recorder overhead     : {overhead_pct:+.1}% (gate: +50%)");
+    println!("histogram record               : {record_mops:.1} Mops/s");
+    println!("histogram quantile query       : {query_kops:.1} kops/s");
+    println!("recorder histogram record      : {rec_hist_mops:.2} Mops/s");
+
+    let telemetry_json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \
+         \"disabled_recorder_overhead_pct\": {overhead_pct:.2},\n  \
+         \"hist_record_mops\": {record_mops:.2},\n  \
+         \"hist_query_kops\": {query_kops:.2},\n  \
+         \"recorder_hist_record_mops\": {rec_hist_mops:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_telemetry.json", &telemetry_json).expect("write BENCH_telemetry.json");
+    println!("wrote BENCH_telemetry.json");
+
+    if overhead_pct > 50.0 {
+        eprintln!(
+            "BENCH FAIL: disabled recorder costs {overhead_pct:.1}% on the warm power-cycle \
+             path; the disabled path must stay free"
+        );
+        std::process::exit(1);
+    }
 }

@@ -10,7 +10,8 @@
 //! ```text
 //! cargo run --release -p voltboot-bench --bin campaign -- \
 //!     [--reps N] [--passes N] [--threads N] [--deadline-ns N] \
-//!     [--checkpoint PATH [--resume]] [--smoke] [--resume-smoke]
+//!     [--checkpoint PATH [--resume]] [--trace-out STEM] \
+//!     [--smoke] [--resume-smoke]
 //! ```
 //!
 //! * `--passes N` reads each SRAM unit N times and majority-votes the
@@ -24,6 +25,12 @@
 //!   every repetition (one file per sweep rate, `PATH.rateI`); with
 //!   `--resume`, a killed run continues from the checkpoints and the
 //!   final report is byte-identical to an uninterrupted run.
+//! * `--trace-out STEM` additionally writes the merged telemetry of
+//!   every sweep as `STEM.trace.json` (Chrome `trace_event` — open in
+//!   `chrome://tracing`), `STEM.folded` (collapsed stacks for
+//!   flamegraphs), and `STEM.waves.csv` (PDN rail waveforms). All
+//!   three are deterministic: byte-identical for equal seeds at any
+//!   `--threads`.
 //!
 //! Everything is virtual-clock deterministic: two runs with the same
 //! `VOLTBOOT_SEED` / `VOLTBOOT_FAULT_SEED` produce byte-identical
@@ -40,6 +47,7 @@ use voltboot::attack::VoltBootAttack;
 use voltboot::campaign::{Campaign, RepStatus, RetryPolicy};
 use voltboot::fault::{FaultPlan, FaultRates};
 use voltboot::telemetry::json::Value;
+use voltboot::telemetry::{export, Recorder};
 use voltboot_armlite::program::builders;
 use voltboot_soc::{devices, Soc};
 
@@ -87,10 +95,14 @@ fn sweep_checkpoint(stem: &Path, sweep: usize) -> PathBuf {
     PathBuf::from(name)
 }
 
-/// Runs the full sweep and builds the report document. The document is
-/// deterministic (byte-identical for equal seeds, any thread count);
-/// wall-clock scaling stats are appended by `main` outside it.
-fn sweep_document(cfg: &SweepConfig) -> Value {
+/// Runs the full sweep and builds the report document plus a merged
+/// trace recorder (every sweep's telemetry absorbed in sweep order,
+/// ready for `--trace-out`). Both are deterministic (byte-identical
+/// for equal seeds, any thread count); wall-clock scaling stats are
+/// appended by `main` outside the document, behind the
+/// `# nondeterministic` trailer.
+fn sweep_document(cfg: &SweepConfig) -> (Value, Recorder) {
+    let trace = Recorder::new();
     let mut sweeps = Vec::new();
     for (i, &rate) in SWEEP_RATES.iter().enumerate() {
         let campaign = build_campaign(cfg, i, rate);
@@ -123,29 +135,59 @@ fn sweep_document(cfg: &SweepConfig) -> Value {
             confidence.repaired,
             confidence.unresolved,
         );
+        trace.absorb(&result.recorder);
         sweeps.push(Value::object(vec![
             ("fault_rate", Value::from(rate)),
             ("result", result.to_value()),
         ]));
     }
-    Value::object(vec![
+    let doc = Value::object(vec![
         ("bench", Value::from("campaign")),
         ("die_seed", Value::from(cfg.die_seed)),
         ("fault_seed", Value::from(cfg.fault_seed)),
         ("reps_per_rate", Value::from(cfg.reps)),
         ("passes", Value::from(u64::from(cfg.passes))),
         ("sweeps", Value::Array(sweeps)),
-    ])
+    ]);
+    (doc, trace)
 }
 
 /// The rendered deterministic report (the smoke gates compare this
 /// byte-wise).
 fn sweep_report(cfg: &SweepConfig) -> String {
-    sweep_document(cfg).render_pretty()
+    sweep_document(cfg).0.render_pretty()
+}
+
+/// Appends wall-clock (nondeterministic) stats to a deterministic
+/// report as a clearly separated trailer: the deterministic bytes come
+/// first, unchanged, then a `# nondeterministic` marker line, then the
+/// stats as one compact JSON line. Anything diffing reports for
+/// byte-identity can split on the marker.
+fn with_nondeterministic_trailer(deterministic: &str, stats: Value) -> String {
+    let mut out = String::from(deterministic);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str("# nondeterministic\n");
+    out.push_str(&stats.render());
+    out.push('\n');
+    out
+}
+
+/// Writes the merged trace recorder's three export views next to `stem`.
+fn write_trace_exports(stem: &str, trace: &Recorder) {
+    let write = |ext: &str, contents: String| {
+        let path = format!("{stem}{ext}");
+        std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    };
+    write(".trace.json", export::chrome_trace(trace).render_pretty());
+    write(".folded", export::folded(trace));
+    write(".waves.csv", export::waveforms_csv(trace));
 }
 
 /// Keys any schema-compatible report must contain; CI fails on drift.
-const SCHEMA_KEYS: [&str; 14] = [
+const SCHEMA_KEYS: [&str; 18] = [
     "\"bench\"",
     "\"fault_seed\"",
     "\"passes\"",
@@ -160,6 +202,10 @@ const SCHEMA_KEYS: [&str; 14] = [
     "\"counters\"",
     "\"timings\"",
     "\"clock_ns\"",
+    "\"gauges\"",
+    "\"hists\"",
+    "\"spans\"",
+    "\"waves\"",
 ];
 
 /// Fixed seeds for the smoke gates: they check reproducibility and
@@ -282,18 +328,23 @@ fn main() {
 
     voltboot_bench::banner("CAMPAIGN", "attack replay under fault-rate sweeps");
     let started = std::time::Instant::now();
-    let doc = sweep_document(&cfg);
+    let (doc, trace) = sweep_document(&cfg);
     let elapsed_s = started.elapsed().as_secs_f64();
-    // Wall-clock scaling stats ride outside the deterministic document:
-    // the campaign outputs stay byte-identical across thread counts,
-    // the measured rep throughput is what `--threads` buys.
+    if let Some(stem) = flag_value(&args, "--trace-out") {
+        write_trace_exports(&stem, &trace);
+    }
+    // Wall-clock scaling stats ride outside the deterministic document,
+    // behind the `# nondeterministic` trailer: everything above the
+    // marker stays byte-identical across thread counts, the measured
+    // rep throughput below it is what `--threads` buys.
     let total_reps = cfg.reps * SWEEP_RATES.len() as u64;
     let reps_per_s = if elapsed_s > 0.0 { total_reps as f64 / elapsed_s } else { 0.0 };
-    let Value::Object(mut pairs) = doc else { unreachable!("report document is an object") };
-    pairs.push(("threads".to_string(), Value::from(cfg.threads)));
-    pairs.push(("elapsed_s".to_string(), Value::from(elapsed_s)));
-    pairs.push(("reps_per_s".to_string(), Value::from(reps_per_s)));
-    let report = Value::Object(pairs).render_pretty();
+    let stats = Value::object(vec![
+        ("threads", Value::from(cfg.threads)),
+        ("elapsed_s", Value::from(elapsed_s)),
+        ("reps_per_s", Value::from(reps_per_s)),
+    ]);
+    let report = with_nondeterministic_trailer(&doc.render_pretty(), stats);
     std::fs::write("BENCH_campaign.json", &report).expect("write BENCH_campaign.json");
     println!(
         "wrote BENCH_campaign.json ({} bytes): {total_reps} reps on {} threads in {elapsed_s:.2} s \
@@ -301,4 +352,30 @@ fn main() {
         report.len(),
         cfg.threads
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailer_leaves_the_deterministic_prefix_unchanged() {
+        let deterministic = "{\n  \"bench\": \"campaign\"\n}";
+        let stats =
+            Value::object(vec![("threads", Value::from(4u64)), ("elapsed_s", Value::from(1.5))]);
+        let report = with_nondeterministic_trailer(deterministic, stats);
+        assert!(report.starts_with(deterministic));
+        let (prefix, trailer) = report
+            .split_once("# nondeterministic\n")
+            .expect("report carries the nondeterministic marker");
+        assert_eq!(prefix, format!("{deterministic}\n"));
+        assert_eq!(trailer, "{\"threads\":4,\"elapsed_s\":1.5}\n");
+    }
+
+    #[test]
+    fn trailer_does_not_double_terminal_newlines() {
+        let report =
+            with_nondeterministic_trailer("{}\n", Value::object(vec![("x", Value::from(1u64))]));
+        assert_eq!(report, "{}\n# nondeterministic\n{\"x\":1}\n");
+    }
 }

@@ -1,0 +1,166 @@
+//! `trace` — run one fault-injected Volt Boot campaign with the full
+//! observability layer enabled and write its three telemetry exports:
+//!
+//! ```text
+//! cargo run --release -p voltboot-bench --bin trace -- \
+//!     [--reps N] [--threads N] [--out STEM] [--smoke]
+//! ```
+//!
+//! * `STEM.trace.json` — Chrome `trace_event` JSON; open in
+//!   `chrome://tracing` or Perfetto to see the span tree (campaign
+//!   reps → attack phases → pdn/soc/sram work) on the virtual clock.
+//! * `STEM.folded` — collapsed stacks (`parent;child self_ns`) for
+//!   `flamegraph.pl` or speedscope.
+//! * `STEM.waves.csv` — PDN rail waveform samples
+//!   (`channel,at_ns,value`): disconnect droop, unheld collapse,
+//!   decay-window flat-tops, reconnect staircase (paper Fig. 4–6 as
+//!   data).
+//!
+//! All three exports are deterministic: byte-identical for equal seeds
+//! at any `--threads`. `--smoke` gates exactly that — it runs a small
+//! campaign sequentially and under 2 worker threads, byte-compares all
+//! three exports, re-parses the Chrome trace with the in-repo JSON
+//! parser, and checks spans from at least four instrumented crates are
+//! present. Exits nonzero on any mismatch (CI runs this).
+
+use voltboot::attack::VoltBootAttack;
+use voltboot::campaign::{Campaign, RetryPolicy};
+use voltboot::fault::{FaultPlan, FaultRates};
+use voltboot::telemetry::{export, json, parse, Recorder};
+use voltboot_armlite::program::builders;
+use voltboot_soc::{devices, Soc};
+
+/// Fault rate for the traced campaign: high enough that retries, PDN
+/// glitches, and bit repair all show up in the trace.
+const FAULT_RATE: f64 = 0.2;
+
+/// Fixed seeds so the smoke gate checks reproducibility, not the
+/// user's environment.
+const SMOKE_SEEDS: (u64, u64) = (0x0020_22A5_B007, 0x000F_A017_C0DE);
+
+fn victim(die_seed: u64) -> impl Fn(u64) -> Soc + Sync {
+    move |rep| {
+        let mut soc = devices::raspberry_pi_4(die_seed ^ rep.wrapping_mul(0x9E37_79B9));
+        soc.power_on_all();
+        soc.enable_caches(0);
+        soc.run_program(0, &builders::nop_sled(128), 0x10000, 100_000);
+        soc
+    }
+}
+
+/// Runs the traced campaign and returns its recorder.
+fn traced_campaign(die_seed: u64, fault_seed: u64, reps: u64, threads: usize) -> Recorder {
+    let plan = FaultPlan::new(fault_seed, FaultRates::uniform(FAULT_RATE));
+    let campaign = Campaign::new(VoltBootAttack::new("TP15").passes(3), plan, reps)
+        .retry(RetryPolicy { max_attempts: 3, initial_backoff_ns: 50_000_000 });
+    campaign.run_parallel(threads, victim(die_seed)).recorder
+}
+
+/// The three export views, rendered.
+fn exports(rec: &Recorder) -> (String, String, String) {
+    (export::chrome_trace(rec).render_pretty(), export::folded(rec), export::waveforms_csv(rec))
+}
+
+/// Crate prefixes the trace must cover for the instrumentation to
+/// count as end-to-end (pdn, sram, soc, and the attack/campaign core).
+const REQUIRED_PREFIXES: [&str; 5] = ["pdn.", "sram.", "soc.", "attack.", "campaign."];
+
+fn smoke() -> i32 {
+    let (die_seed, fault_seed, reps) = (SMOKE_SEEDS.0, SMOKE_SEEDS.1, 2);
+    let sequential = traced_campaign(die_seed, fault_seed, reps, 1);
+    let threaded = traced_campaign(die_seed, fault_seed, reps, 2);
+    let (trace_a, folded_a, waves_a) = exports(&sequential);
+    let (trace_b, folded_b, waves_b) = exports(&threaded);
+    for (name, a, b) in [
+        ("chrome trace", &trace_a, &trace_b),
+        ("folded stacks", &folded_a, &folded_b),
+        ("waveform csv", &waves_a, &waves_b),
+    ] {
+        if a != b {
+            eprintln!(
+                "TRACE SMOKE FAIL: {name} differs byte-wise between 1 and 2 worker threads \
+                 ({} vs {} bytes)",
+                a.len(),
+                b.len()
+            );
+            return 1;
+        }
+    }
+
+    // The Chrome trace must be valid JSON by our own parser and carry
+    // spans from every instrumented layer.
+    let doc = match parse::parse(&trace_a) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("TRACE SMOKE FAIL: chrome trace does not re-parse: {e}");
+            return 1;
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(json::Value::as_array) else {
+        eprintln!("TRACE SMOKE FAIL: chrome trace has no traceEvents array");
+        return 1;
+    };
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(json::Value::as_str)).collect();
+    for prefix in REQUIRED_PREFIXES {
+        if !names.iter().any(|n| n.starts_with(prefix)) {
+            eprintln!(
+                "TRACE SMOKE FAIL: no trace event from the {prefix}* layer \
+                 ({} events total)",
+                names.len()
+            );
+            return 1;
+        }
+    }
+    if waves_a.lines().count() < 2 {
+        eprintln!("TRACE SMOKE FAIL: waveform csv has no samples");
+        return 1;
+    }
+    println!(
+        "trace smoke ok: {} events across {} layers, exports byte-identical (1 vs 2 threads, \
+         trace {} B / folded {} B / waves {} B)",
+        names.len(),
+        REQUIRED_PREFIXES.len(),
+        trace_a.len(),
+        folded_a.len(),
+        waves_a.len()
+    );
+    0
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a value")).clone())
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} needs an integer, got {v:?}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    let reps: u64 = parsed_flag(&args, "--reps").unwrap_or(8);
+    let threads: usize = parsed_flag::<usize>(&args, "--threads").unwrap_or(1).max(1);
+    let stem = flag_value(&args, "--out").unwrap_or_else(|| "trace".to_string());
+
+    voltboot_bench::banner("TRACE", "observability exports for a traced campaign");
+    let rec = traced_campaign(voltboot_bench::seed(), voltboot_bench::fault_seed(), reps, threads);
+    let (trace, folded, waves) = exports(&rec);
+    for (ext, contents) in [(".trace.json", &trace), (".folded", &folded), (".waves.csv", &waves)] {
+        let path = format!("{stem}{ext}");
+        std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path} ({} bytes)", contents.len());
+    }
+    println!(
+        "{} spans ({} dropped), {} waveform channels, virtual clock {} ns",
+        rec.spans().len(),
+        rec.spans_dropped(),
+        rec.waveforms().len(),
+        rec.now_ns()
+    );
+}

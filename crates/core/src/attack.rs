@@ -376,6 +376,8 @@ impl VoltBootAttack {
             }
         };
         rec.advance(IDENTIFY_STEP_NS);
+        span.attr("pad", self.pad.as_str());
+        span.attr("live_v", live);
         span.end();
         steps.push(StepRecord {
             step: "identify".into(),
@@ -406,6 +408,8 @@ impl VoltBootAttack {
             return Err(AttackFailure { error: e.into(), steps });
         }
         rec.advance(ATTACH_STEP_NS);
+        span.attr("setpoint_v", probe.voltage);
+        span.attr("limit_a", probe.current_limit);
         span.end();
         steps.push(StepRecord {
             step: "attach".into(),
@@ -459,7 +463,7 @@ impl VoltBootAttack {
                     signed: false,
                 }
             };
-            let outcome = match soc.boot(source) {
+            let outcome = match soc.boot_traced(source, rec) {
                 Ok(o) => o,
                 Err(e) => return Err(AttackFailure { error: e.into(), steps }),
             };
@@ -530,6 +534,8 @@ impl VoltBootAttack {
                 Err(e) => return Err(AttackFailure { error: e, steps }),
             }
         };
+        span.attr("passes", u64::from(passes));
+        span.attr("images", images.len());
         span.end();
         steps.push(StepRecord {
             step: "extract".into(),
@@ -657,7 +663,7 @@ impl VoltBootAttack {
         // One read of `unit` on pass `p`, with that pass's wire noise.
         let read_pass =
             |u: usize, unit: &UnitSpec, p: u32| -> Result<(PackedBits, usize), AttackError> {
-                let mut bits = read_unit(soc, unit)?;
+                let mut bits = read_unit(soc, unit, rec)?;
                 rec.advance(EXTRACT_IMAGE_NS);
                 let mut flipped = 0;
                 if faults.readout_bit_error_fraction > 0.0 {
@@ -682,6 +688,7 @@ impl VoltBootAttack {
         let mut repaired_total = 0u64;
         let mut unresolved_total = 0u64;
         for (u, unit) in units.into_iter().enumerate() {
+            let reads_before = unit_reads;
             // Passes aligned to their pass index; `None` is an erasure
             // (dropped pass) or a read selective repair skipped.
             let mut pass_bits: Vec<Option<PackedBits>> = vec![None; passes as usize];
@@ -716,6 +723,11 @@ impl VoltBootAttack {
             let (resolved, map) = recover::vote_owned(pass_bits).map_err(AttackError::from)?;
             repaired_total += map.repaired;
             unresolved_total += map.unresolved;
+            // Distributions over units: how many reads each one cost
+            // (2 when the cross-check agreed, more when repair re-read)
+            // and how many bits the vote had to repair in it.
+            rec.record("attack.repair.reads_per_unit", unit_reads - reads_before);
+            rec.record("attack.repair.repaired_per_unit", map.repaired);
             let image = ExtractedImage::new(unit.source, resolved);
             confidence.push(ImageConfidence {
                 source: image.source.clone(),
@@ -764,11 +776,11 @@ enum UnitKind {
 }
 
 /// Reads one unit's current bits through the same debug paths the
-/// whole-plan extractors use.
-fn read_unit(soc: &Soc, unit: &UnitSpec) -> Result<PackedBits, AttackError> {
+/// whole-plan extractors use, recording RAMINDEX readout telemetry.
+fn read_unit(soc: &Soc, unit: &UnitSpec, rec: &Recorder) -> Result<PackedBits, AttackError> {
     Ok(match unit.kind {
         UnitKind::Ram { core, ram, way } => {
-            PackedBits::from_bytes(&soc.ramindex_unit(core, ram, way, false)?)
+            PackedBits::from_bytes(&soc.ramindex_unit_traced(core, ram, way, false, rec)?)
         }
         UnitKind::Registers { core } => {
             soc.core(core).map_err(|_| bad_core(core))?.vregs.image().map_err(AttackError::from)?

@@ -916,6 +916,17 @@ impl Campaign {
             RepStatus::Failed => rec.incr("campaign.failures", 1),
             RepStatus::TimedOut => rec.incr("campaign.timed_out", 1),
         }
+        // Distribution views of the campaign: per-rep virtual latency
+        // and attempts-to-outcome, plus a rolling progress gauge. All
+        // recorded on the rep's (forked) recorder, so the merged
+        // histograms match a sequential run exactly.
+        rec.record("campaign.rep_ns", rec.now_ns().saturating_sub(rep_started_ns));
+        rec.record("campaign.attempts_per_rep", u64::from(record.attempts));
+        rec.gauge("campaign.last_rep", rep as f64);
+        span.attr("rep", rep);
+        span.attr("attempts", record.attempts);
+        span.attr("status", record.status.as_str());
+        span.attr("images", record.images);
         span.end();
         record
     }

@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use voltboot::attack::VoltBootAttack;
 use voltboot::campaign::{Campaign, RetryPolicy};
 use voltboot::fault::{FaultPlan, FaultRates};
+use voltboot::telemetry::export;
 use voltboot_armlite::program::builders;
 use voltboot_soc::{devices, Soc};
 
@@ -50,6 +51,68 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let got = campaign.run_parallel(threads, victim).to_json();
             prop_assert_eq!(&got, &want, "thread count {} must not change a byte", threads);
+        }
+    }
+
+    /// The trace tree and histograms merge deterministically through
+    /// fork/absorb: at every thread count the span forest is
+    /// well-formed (parents precede children, events sequence-ordered)
+    /// and the histograms and all three export views match the
+    /// sequential run exactly.
+    #[test]
+    fn trace_tree_and_histograms_merge_deterministically(
+        seed in any::<u64>(),
+        reps in 2u64..=6,
+        passes in prop_oneof![Just(1u32), Just(3u32)],
+    ) {
+        let campaign = make(seed, true, passes, reps);
+        let victim = move |rep: u64| prepared_pi4(seed ^ rep);
+        let seq = campaign.run(victim).recorder;
+
+        let spans = seq.spans();
+        prop_assert!(!spans.is_empty(), "instrumented campaign must trace spans");
+        for span in &spans {
+            prop_assert!(span.end_ns >= span.start_ns);
+            if let Some(parent) = span.parent {
+                prop_assert!(parent < span.id, "parent ids precede child ids");
+                prop_assert!(spans.iter().any(|s| s.id == parent), "parent link resolves");
+            }
+        }
+        for (i, event) in seq.events().iter().enumerate() {
+            prop_assert_eq!(event.seq as usize, i, "events are sequence-ordered");
+        }
+
+        let want_trace = export::chrome_trace(&seq).render_pretty();
+        let want_folded = export::folded(&seq);
+        let want_waves = export::waveforms_csv(&seq);
+        for threads in [2usize, 4] {
+            let par = campaign.run_parallel(threads, victim).recorder;
+            prop_assert_eq!(
+                export::chrome_trace(&par).render_pretty(), want_trace.clone(),
+                "chrome trace at {} threads", threads
+            );
+            prop_assert_eq!(
+                export::folded(&par), want_folded.clone(),
+                "folded stacks at {} threads", threads
+            );
+            prop_assert_eq!(
+                export::waveforms_csv(&par), want_waves.clone(),
+                "waveforms at {} threads", threads
+            );
+            let (a, b) = (seq.histograms(), par.histograms());
+            prop_assert_eq!(
+                a.keys().collect::<Vec<_>>(), b.keys().collect::<Vec<_>>(),
+                "histogram channels at {} threads", threads
+            );
+            for (name, h) in &a {
+                let merged = &b[name];
+                prop_assert_eq!(
+                    (h.count(), h.sum(), h.min(), h.max(), h.p50(), h.p90(), h.p99()),
+                    (merged.count(), merged.sum(), merged.min(), merged.max(),
+                     merged.p50(), merged.p90(), merged.p99()),
+                    "histogram {} at {} threads", name, threads
+                );
+            }
         }
     }
 

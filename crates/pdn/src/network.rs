@@ -9,9 +9,18 @@ use crate::transient::{DisconnectTransient, SurgeProfile};
 use serde::{Deserialize, Serialize};
 use voltboot_telemetry::Recorder;
 
+#[cfg(test)]
+use voltboot_telemetry::AttrValue;
+
 /// Modelled wall time one PMIC sequencing step takes at reconnect, used
 /// to advance the telemetry recorder's virtual clock.
 const RAIL_SEQUENCE_STEP_NS: u64 = 1_200_000;
+
+/// Modelled collapse time of an unheld rail at disconnect: the bulk
+/// decoupling drains in about a microsecond once the regulator input is
+/// gone (paper Fig. 4 shows the unheld rails hitting zero well inside
+/// the first scope division).
+const UNHELD_COLLAPSE_NS: u64 = 1_000;
 
 /// The order rails come back in when main power returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -238,7 +247,11 @@ impl PowerNetwork {
 
     /// [`PowerNetwork::disconnect_main`], recording per-rail telemetry:
     /// `pdn.rails_held` / `pdn.rails_dropped` counters, a
-    /// `pdn.disconnect` span, and the virtual time of the longest surge.
+    /// `pdn.disconnect` span, the virtual time of the longest surge, and
+    /// per-rail waveform samples (`pdn.<rail>.v` / `pdn.<rail>.i`)
+    /// tracing the droop-and-recover shape of held rails and the
+    /// collapse of unheld ones — the paper's Fig. 4–6 scope view as
+    /// data.
     ///
     /// # Errors
     ///
@@ -253,6 +266,7 @@ impl PowerNetwork {
             });
         }
         let span = rec.span("pdn.disconnect");
+        let t0 = rec.now_ns();
 
         // Resolve every rail before committing the state change so a
         // lookup failure leaves the network consistent.
@@ -270,11 +284,28 @@ impl PowerNetwork {
             }
             let held = probe.map(|probe| {
                 let surge = self.rail_surge(&rail.name);
-                max_surge_ns = max_surge_ns.max((surge.surge_duration * 1e9) as u64);
-                DisconnectTransient::compute(&probe, rail, &surge)
+                let surge_ns = (surge.surge_duration * 1e9) as u64;
+                max_surge_ns = max_surge_ns.max(surge_ns);
+                let transient = DisconnectTransient::compute(&probe, rail, &surge);
+                Self::sample_held_rail(
+                    rec,
+                    &rail.name,
+                    rail.nominal_voltage,
+                    &surge,
+                    &transient,
+                    t0,
+                    surge_ns,
+                );
+                transient
             });
             if held.is_some() {
                 held_count += 1;
+            } else if rec.is_enabled() {
+                // An unheld rail simply collapses once the PMIC input is
+                // gone: nominal at the cut, zero a collapse later.
+                let v_chan = format!("pdn.{}.v", rail.name);
+                rec.sample_at(&v_chan, t0, rail.nominal_voltage);
+                rec.sample_at(&v_chan, t0 + UNHELD_COLLAPSE_NS, 0.0);
             }
             rails.push(RailOutcome { rail: rail.name.clone(), held });
         }
@@ -284,8 +315,46 @@ impl PowerNetwork {
         rec.incr("pdn.rails_held", held_count);
         rec.incr("pdn.rails_dropped", rails.len() as u64 - held_count);
         rec.advance(max_surge_ns);
+        span.attr("rails_held", held_count);
+        span.attr("max_surge_ns", max_surge_ns);
         span.end();
         Ok(DisconnectOutcome { rails })
+    }
+
+    /// Samples the droop-and-recover waveform of a held rail across its
+    /// surge window: nominal at the cut, minimum at the surge edge
+    /// (~10 % in), an exponential-ish recovery at the quarter points,
+    /// and the settled probe voltage at the end. The current channel
+    /// records the load stepping from steady to the probe's delivered
+    /// peak and back.
+    fn sample_held_rail(
+        rec: &Recorder,
+        rail: &str,
+        nominal: f64,
+        surge: &SurgeProfile,
+        transient: &DisconnectTransient,
+        t0: u64,
+        surge_ns: u64,
+    ) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let v_chan = format!("pdn.{rail}.v");
+        let i_chan = format!("pdn.{rail}.i");
+        let edge = t0 + surge_ns / 10;
+        rec.sample_at(&v_chan, t0, nominal);
+        rec.sample_at(&v_chan, edge, transient.min_voltage);
+        let swing = transient.steady_voltage - transient.min_voltage;
+        for (num, weight) in [(1u64, 0.5), (2, 0.25), (3, 0.125)] {
+            let at = t0 + surge_ns * num / 4;
+            if at > edge {
+                rec.sample_at(&v_chan, at, transient.steady_voltage - swing * weight);
+            }
+        }
+        rec.sample_at(&v_chan, t0 + surge_ns, transient.steady_voltage);
+        rec.sample_at(&i_chan, t0, surge.steady_current);
+        rec.sample_at(&i_chan, edge, transient.peak_current);
+        rec.sample_at(&i_chan, t0 + surge_ns, surge.steady_current.min(transient.peak_current));
     }
 
     /// Reconnects main power; rails come back in PMIC sequence order.
@@ -314,6 +383,7 @@ impl PowerNetwork {
             return Err(PdnError::InvalidMainTransition { attempted: "reconnect while connected" });
         }
         let span = rec.span("pdn.reconnect");
+        let t0 = rec.now_ns();
         self.main_connected = true;
         let mut sequence: Vec<String> =
             self.pmic.sequence().into_iter().map(String::from).collect();
@@ -321,8 +391,27 @@ impl PowerNetwork {
             sequence.reverse();
             rec.incr("pdn.reconnects_misordered", 1);
         }
+        if rec.is_enabled() {
+            // The bring-up staircase: each rail sits at zero until its
+            // sequencing slot, then steps to nominal.
+            for (k, name) in sequence.iter().enumerate() {
+                let Some(rail) = self.pmic.rail(name) else { continue };
+                let chan = format!("pdn.{name}.v");
+                let slot = t0 + RAIL_SEQUENCE_STEP_NS * k as u64;
+                rec.sample_at(&chan, slot, 0.0);
+                rec.sample_at(&chan, slot + RAIL_SEQUENCE_STEP_NS, rail.nominal_voltage);
+            }
+        }
         rec.incr("pdn.reconnects", 1);
         rec.advance(RAIL_SEQUENCE_STEP_NS * sequence.len() as u64);
+        span.attr(
+            "order",
+            match order {
+                ReconnectOrder::PmicSequence => "pmic-sequence",
+                ReconnectOrder::Reversed => "reversed",
+            },
+        );
+        span.attr("rails", sequence.len());
         span.end();
         Ok(sequence)
     }
@@ -506,6 +595,44 @@ mod tests {
         assert_eq!(rec.timings()["pdn.disconnect"].count, 1);
         net.reconnect_main_with(ReconnectOrder::PmicSequence, &rec).unwrap();
         assert_eq!(rec.counter("pdn.reconnects"), 1);
+    }
+
+    #[test]
+    fn disconnect_traces_rail_waveforms() {
+        let mut net = PowerNetwork::raspberry_pi_4_like();
+        net.attach_probe("TP15", Probe::bench_supply(0.8, 3.0)).unwrap();
+        let rec = Recorder::new();
+        net.disconnect_main_traced(&rec).unwrap();
+        net.reconnect_main_with(ReconnectOrder::PmicSequence, &rec).unwrap();
+
+        let waves = rec.waveforms();
+        // Held rail: voltage and current channels trace the surge.
+        let core_v = &waves["pdn.VDD_CORE.v"];
+        assert!(core_v.len() >= 4, "droop + recovery points: {core_v:?}");
+        assert_eq!(core_v[0].value, 0.8, "nominal at the cut");
+        let min = core_v.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
+        assert!(min < 0.8, "the surge must droop below nominal");
+        assert!(waves["pdn.VDD_CORE.i"].iter().any(|s| s.value > 0.5), "surge current peak");
+        // Unheld rail: collapse to zero, then the reconnect staircase
+        // brings it back to nominal.
+        let mem_v = &waves["pdn.VDD_MEM.v"];
+        assert_eq!(mem_v[0].value, 1.1);
+        assert_eq!(mem_v[1].value, 0.0);
+        assert_eq!(mem_v.last().unwrap().value, 1.1, "reconnect restores nominal");
+        // Timestamps never run backwards within a channel.
+        for w in waves.values() {
+            assert!(w.windows(2).all(|p| p[0].at_ns <= p[1].at_ns), "{w:?}");
+        }
+
+        // Span attributes describe the disconnect and the bring-up.
+        let spans = rec.spans();
+        let disconnect = spans.iter().find(|s| s.name == "pdn.disconnect").unwrap();
+        assert!(disconnect.attrs.iter().any(|(k, v)| k == "rails_held" && *v == AttrValue::U64(1)));
+        let reconnect = spans.iter().find(|s| s.name == "pdn.reconnect").unwrap();
+        assert!(reconnect
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "order" && *v == AttrValue::Str("pmic-sequence".into())));
     }
 
     #[test]

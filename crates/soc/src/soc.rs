@@ -401,7 +401,8 @@ impl Soc {
     ) -> Result<Vec<RetentionReport>, SocError> {
         type Job<'a> = Box<dyn FnOnce() -> Result<RetentionReport, SocError> + Send + 'a>;
         // Jobs run on worker threads in nondeterministic order, so they
-        // record only counters (commutative) — never events or spans.
+        // record only counters and histograms (commutative merges) —
+        // never events, spans, or gauges.
         let mut jobs: Vec<Job<'_>> = Vec::new();
         for core in cores {
             let Core { l1i, l1d, vregs, tlb, btb, .. } = core;
@@ -526,8 +527,37 @@ impl Soc {
             event,
         );
 
+        // The decay window on the scope: each SRAM rail sits at its held
+        // voltage (or zero) for the whole off interval. Sampled at the
+        // window's edges so the waveform export shows the flat-top (or
+        // flat-zero) stretch between the disconnect surge and the
+        // reconnect staircase.
+        let off_ns = u64::try_from(spec.off_duration.as_nanos()).unwrap_or(u64::MAX);
+        if rec.is_enabled() {
+            let held_v = |event: OffEvent| match event {
+                OffEvent::Held { voltage, .. } => voltage,
+                OffEvent::Unpowered => 0.0,
+            };
+            let mut sampled: Vec<&str> = Vec::new();
+            let mut rails: Vec<(&str, OffEvent)> =
+                vec![(self.core_rail.as_str(), core_event), (self.l2_rail.as_str(), l2_event)];
+            if let Some(rail) = self.iram_rail.as_deref() {
+                rails.push((rail, iram_event));
+            }
+            for (rail, event) in rails {
+                if sampled.contains(&rail) {
+                    continue;
+                }
+                sampled.push(rail);
+                let chan = format!("pdn.{rail}.v");
+                let t0 = rec.now_ns();
+                rec.sample_at(&chan, t0, held_v(event));
+                rec.sample_at(&chan, t0.saturating_add(off_ns), held_v(event));
+            }
+        }
+
         // The off interval passes on the virtual clock.
-        rec.advance(u64::try_from(spec.off_duration.as_nanos()).unwrap_or(u64::MAX));
+        rec.advance(off_ns);
 
         let order = if faults.reconnect_misorder {
             rec.event("soc.fault.reconnect_misorder", "pmic restored rails in reverse order");
@@ -546,6 +576,8 @@ impl Soc {
             core.security = SecurityState::Secure;
         }
         self.sync_cpu_regs_from_sram();
+        span.attr("off_ns", off_ns);
+        span.attr("temp_c", spec.temperature.celsius());
         span.end();
 
         Ok(PowerCycleReport { outcome, retention })
@@ -609,6 +641,30 @@ impl Soc {
     /// [`SocError::BootRejected`] when authenticated boot refuses the
     /// image or the source is unsupported, plus SRAM failures.
     pub fn boot(&mut self, source: BootSource) -> Result<BootOutcome, SocError> {
+        self.boot_traced(source, &Recorder::disabled())
+    }
+
+    /// [`Soc::boot`] with telemetry: a `soc.boot` span carrying the
+    /// outcome as attributes (`mbist_ran`, `l2_clobbered`,
+    /// `iram_bytes_clobbered`), with zero-width `soc.boot.reset` /
+    /// `soc.boot.clobber` / `soc.boot.load` stage spans marking the
+    /// flow. The spans deliberately do not advance the virtual clock —
+    /// the attack layer owns reboot wall time (its `attack.reboot`
+    /// step advances the modelled boot duration), so advancing here
+    /// would double-count it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Soc::boot`].
+    pub fn boot_traced(
+        &mut self,
+        source: BootSource,
+        rec: &Recorder,
+    ) -> Result<BootOutcome, SocError> {
+        let span = rec.span("soc.boot");
+        rec.incr("soc.boots", 1);
+        let stage = |name: &str| rec.span(name).end();
+        stage("soc.boot.reset");
         let mut mbist_ran = false;
         if self.policy.mbist_reset {
             for core in &mut self.cores {
@@ -625,6 +681,7 @@ impl Soc {
         }
 
         // Firmware clobbering.
+        stage("soc.boot.clobber");
         let mut l2_clobbered = false;
         if self.boot_rom.clobbers_l2 {
             let rom = self.boot_rom.clone();
@@ -645,6 +702,7 @@ impl Soc {
         // DRAM scrambler keys rotate at every boot.
         self.dram.rotate_scramble_key(self.boot_rom.junk_seed ^ 0x9d0f);
 
+        stage("soc.boot.load");
         let entry = match source {
             BootSource::InternalRom => {
                 if !self.boot_rom.boots_from_internal_rom {
@@ -668,6 +726,10 @@ impl Soc {
         for core in &mut self.cores {
             core.cpu.set_pc(entry);
         }
+        span.attr("mbist_ran", mbist_ran);
+        span.attr("l2_clobbered", l2_clobbered);
+        span.attr("iram_bytes_clobbered", iram_bytes_clobbered);
+        span.end();
         Ok(BootOutcome { entry, l2_clobbered, iram_bytes_clobbered, mbist_ran })
     }
 
@@ -848,6 +910,39 @@ impl Soc {
     /// Same classes as [`Soc::ramindex`]. Tag RAMs are not readable as
     /// a unit ([`SocError::UnknownRamId`]).
     pub fn ramindex_unit(
+        &self,
+        core: usize,
+        ram: RamId,
+        way: u8,
+        requester_secure: bool,
+    ) -> Result<Vec<u8>, SocError> {
+        self.ramindex_unit_traced(core, ram, way, requester_secure, &Recorder::disabled())
+    }
+
+    /// [`Soc::ramindex_unit`] with telemetry: a `soc.ramindex.unit_reads`
+    /// counter and a `soc.ramindex.unit_bytes` histogram of readout
+    /// sizes. No virtual time passes here — the attack layer owns
+    /// extraction timing (its `attack.extract` step advances the
+    /// modelled dump duration per image).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Soc::ramindex_unit`].
+    pub fn ramindex_unit_traced(
+        &self,
+        core: usize,
+        ram: RamId,
+        way: u8,
+        requester_secure: bool,
+        rec: &Recorder,
+    ) -> Result<Vec<u8>, SocError> {
+        let bytes = self.ramindex_unit_inner(core, ram, way, requester_secure)?;
+        rec.incr("soc.ramindex.unit_reads", 1);
+        rec.record("soc.ramindex.unit_bytes", bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    fn ramindex_unit_inner(
         &self,
         core: usize,
         ram: RamId,

@@ -295,11 +295,13 @@ impl SramArray {
 
     /// [`SramArray::power_on_with`] that additionally records resolution
     /// counters (`sram.power_cycles`, `sram.cells_retained`,
-    /// `sram.cells_lost`, `sram.planes.*`) into `rec`.
+    /// `sram.cells_lost`, `sram.planes.*`) and distribution histograms
+    /// (`sram.lost_per_powerup`, `sram.decay_stress_milli`) into `rec`.
     ///
-    /// Only counters are recorded — never events or spans — because arrays
-    /// power on from parallel worker threads and counter increments are
-    /// the one commutative operation that keeps telemetry deterministic
+    /// Only counters and histograms are recorded — never events, spans,
+    /// or gauges — because arrays power on from parallel worker threads
+    /// and counter increments / histogram bucket additions are the
+    /// commutative operations that keep telemetry deterministic
     /// regardless of scheduling.
     ///
     /// # Errors
@@ -380,6 +382,14 @@ impl SramArray {
         rec.incr("sram.power_cycles", 1);
         rec.incr("sram.cells_retained", retained as u64);
         rec.incr("sram.cells_lost", lost as u64);
+        // Distribution views of the same physics (histogram merges are
+        // commutative, so these stay worker-thread safe like counters):
+        // how many cells each power-up lost, and how much decay stress
+        // the off interval accumulated (in milli-units — the budget is
+        // lognormal around 1, so milli resolution keeps the interesting
+        // sub-1.0 range out of the histogram's singleton buckets).
+        rec.record("sram.lost_per_powerup", lost as u64);
+        rec.record("sram.decay_stress_milli", (stress * 1e3) as u64);
         let report = RetentionReport {
             name: self.config.name.clone(),
             bits: self.config.bits,
@@ -800,6 +810,23 @@ mod tests {
         s.power_on_traced(ResolutionMode::Batched, &rec).unwrap();
         assert_eq!(rec.counter("sram.power_cycles"), 2);
         assert_eq!(rec.counter("sram.cells_retained"), 2048);
+    }
+
+    #[test]
+    fn traced_power_on_records_loss_and_stress_histograms() {
+        let rec = Recorder::new();
+        let mut s = array(256);
+        // First power-up: everything "lost" (nothing to retain yet).
+        s.power_on_traced(ResolutionMode::Batched, &rec).unwrap();
+        // Held cycle: nothing lost, zero stress.
+        s.power_off(OffEvent::held(0.8)).unwrap();
+        s.power_on_traced(ResolutionMode::Batched, &rec).unwrap();
+        let lost = rec.histogram("sram.lost_per_powerup").unwrap();
+        assert_eq!(lost.count(), 2);
+        assert_eq!(lost.max(), 2048, "first power-up loses every cell");
+        assert_eq!(lost.min(), 0, "a held cycle loses none");
+        let stress = rec.histogram("sram.decay_stress_milli").unwrap();
+        assert_eq!(stress.count(), 2);
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Exporters for the recorder's trace tree and waveform channels.
+//!
+//! Three views of one deterministic store:
+//!
+//! * [`chrome_trace`] — the Chrome `trace_event` JSON format; open the
+//!   file in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)
+//!   to see the campaign's span hierarchy on the virtual timeline.
+//! * [`folded`] — collapsed stacks (`root;child;leaf self_ns`), the
+//!   input format of `inferno`/`flamegraph.pl`.
+//! * [`waveforms_csv`] — the waveform channels as long-format CSV
+//!   (`channel,at_ns,value`), plottable with anything.
+//!
+//! All three are pure functions of the recorder's exported state, so
+//! they inherit the fork/absorb merge invariant: a parallel campaign's
+//! exports are byte-identical to a sequential run's.
+
+use crate::json::Value;
+use crate::Recorder;
+use std::collections::BTreeMap;
+
+/// Microseconds-as-float for Chrome's `ts`/`dur` fields (it expects
+/// microseconds; the virtual clock is nanoseconds).
+fn us(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1000.0)
+}
+
+/// The crate-ish category of a dotted metric name: everything before
+/// the first `.` (`"pdn.disconnect"` → `"pdn"`).
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Renders the trace tree, event log, and counters as a Chrome
+/// `trace_event` JSON document.
+///
+/// Spans become `"X"` (complete) events on pid 0 / tid 0 with their
+/// attributes under `args`; Chrome nests them by time containment,
+/// which matches the tree because children open and close inside their
+/// parents on the virtual clock. Log events become `"i"` (instant)
+/// events, and each counter contributes one `"C"` sample of its final
+/// total. Retention-drop counts ride along under `otherData`.
+pub fn chrome_trace(rec: &Recorder) -> Value {
+    let mut events = Vec::new();
+    for span in rec.spans() {
+        let args = span.attrs.iter().map(|(k, v)| (k.clone(), v.to_value())).collect::<Vec<_>>();
+        events.push(Value::object(vec![
+            ("name", Value::from(span.name.as_str())),
+            ("cat", Value::from(category(&span.name))),
+            ("ph", Value::from("X")),
+            ("ts", us(span.start_ns)),
+            ("dur", us(span.end_ns.saturating_sub(span.start_ns))),
+            ("pid", Value::from(0u64)),
+            ("tid", Value::from(0u64)),
+            ("args", Value::Object(args)),
+        ]));
+    }
+    for e in rec.events() {
+        events.push(Value::object(vec![
+            ("name", Value::from(e.name.as_str())),
+            ("cat", Value::from(category(&e.name))),
+            ("ph", Value::from("i")),
+            ("ts", us(e.at_ns)),
+            ("pid", Value::from(0u64)),
+            ("tid", Value::from(0u64)),
+            ("s", Value::from("g")),
+            ("args", Value::object(vec![("detail", Value::from(e.detail.as_str()))])),
+        ]));
+    }
+    let clock = rec.now_ns();
+    for (name, total) in rec.counters() {
+        let sample = Value::object(vec![(name.as_str(), Value::from(total))]);
+        events.push(Value::object(vec![
+            ("name", Value::from(name.as_str())),
+            ("cat", Value::from(category(&name))),
+            ("ph", Value::from("C")),
+            ("ts", us(clock)),
+            ("pid", Value::from(0u64)),
+            ("tid", Value::from(0u64)),
+            ("args", sample),
+        ]));
+    }
+    Value::object(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::from("ms")),
+        (
+            "otherData",
+            Value::object(vec![
+                ("clock_ns", Value::from(clock)),
+                ("spans_dropped", Value::from(rec.spans_dropped())),
+                ("waves_dropped", Value::from(rec.waves_dropped())),
+            ]),
+        ),
+    ])
+}
+
+/// Renders the trace tree as collapsed stacks: one
+/// `root;child;leaf self_ns` line per distinct stack, self time being a
+/// span's duration minus its retained children's. Lines are
+/// lexicographically sorted; feed to `inferno-flamegraph` or
+/// `flamegraph.pl` to draw the profile.
+pub fn folded(rec: &Recorder) -> String {
+    let spans = rec.spans();
+    let index_of: BTreeMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    // Children always carry larger ids than their parents (absorb
+    // preserves open order), so one pass accumulates child time.
+    let mut child_ns = vec![0u64; spans.len()];
+    for span in &spans {
+        if let Some(parent_idx) = span.parent.and_then(|p| index_of.get(&p)) {
+            child_ns[*parent_idx] += span.end_ns.saturating_sub(span.start_ns);
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, span) in spans.iter().enumerate() {
+        let mut path = vec![span.name.as_str()];
+        let mut cursor = span.parent;
+        while let Some(pid) = cursor {
+            // A dropped ancestor truncates the walk; the stack is
+            // rooted at the oldest retained span.
+            let Some(&idx) = index_of.get(&pid) else { break };
+            path.push(spans[idx].name.as_str());
+            cursor = spans[idx].parent;
+        }
+        path.reverse();
+        let own = span.end_ns.saturating_sub(span.start_ns).saturating_sub(child_ns[i]);
+        *stacks.entry(path.join(";")).or_insert(0) += own;
+    }
+    let mut out = String::new();
+    for (stack, ns) in stacks {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the waveform channels as long-format CSV with a
+/// `channel,at_ns,value` header — the oscilloscope view of the PDN
+/// model (rail voltage/current during disconnect surges, reconnect
+/// staircases, and SRAM decay windows).
+pub fn waveforms_csv(rec: &Recorder) -> String {
+    let mut out = String::from("channel,at_ns,value\n");
+    for (channel, samples) in rec.waveforms() {
+        for s in samples {
+            out.push_str(&channel);
+            out.push(',');
+            out.push_str(&s.at_ns.to_string());
+            out.push(',');
+            let v = format!("{}", s.value);
+            out.push_str(&v);
+            if !v.contains(['.', 'e', 'E', 'n', 'i']) {
+                out.push_str(".0");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::new();
+        let outer = rec.span("campaign.rep");
+        outer.attr("rep", 0u64);
+        rec.advance(1_000);
+        {
+            let inner = rec.span("pdn.disconnect");
+            inner.attr("rails_held", 1u64);
+            rec.sample_at("pdn.VDD_CORE.v", 1_100, 0.8);
+            rec.sample_at("pdn.VDD_CORE.v", 1_400, 0.42);
+            rec.advance(500);
+        }
+        rec.event("soc.fault", "brown-out");
+        rec.incr("campaign.reps", 1);
+        rec.advance(250);
+        outer.end();
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_carries_all_record_kinds() {
+        let rec = sample_recorder();
+        let doc = chrome_trace(&rec).render();
+        let v = parse::parse(&doc).expect("exporter output must parse with the in-repo parser");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 spans + 1 instant + 1 counter.
+        assert_eq!(events.len(), 4);
+        let phases: Vec<&str> =
+            events.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert_eq!(phases, vec!["X", "X", "i", "C"]);
+        let outer = &events[0];
+        assert_eq!(outer.get("name").unwrap().as_str(), Some("campaign.rep"));
+        assert_eq!(outer.get("cat").unwrap().as_str(), Some("campaign"));
+        assert_eq!(outer.get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(outer.get("dur").unwrap().as_f64(), Some(1.75));
+        assert_eq!(outer.get("args").unwrap().get("rep").unwrap().as_u64(), Some(0));
+        let inner = &events[1];
+        assert_eq!(inner.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(inner.get("dur").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic() {
+        assert_eq!(
+            chrome_trace(&sample_recorder()).render(),
+            chrome_trace(&sample_recorder()).render()
+        );
+    }
+
+    #[test]
+    fn folded_attributes_self_time_to_the_right_stack() {
+        let rec = sample_recorder();
+        let out = folded(&rec);
+        let lines: Vec<&str> = out.lines().collect();
+        // Outer span: 1750 total − 500 in the child = 1250 self.
+        // Inner span: 500 self under the outer.
+        assert_eq!(lines, vec!["campaign.rep 1250", "campaign.rep;pdn.disconnect 500"], "{out}");
+    }
+
+    #[test]
+    fn folded_aggregates_repeated_stacks() {
+        let rec = Recorder::new();
+        for _ in 0..3 {
+            let s = rec.span("step");
+            rec.advance(10);
+            s.end();
+        }
+        assert_eq!(folded(&rec), "step 30\n");
+    }
+
+    #[test]
+    fn waveforms_csv_emits_long_format_rows() {
+        let rec = sample_recorder();
+        let csv = waveforms_csv(&rec);
+        assert_eq!(csv, "channel,at_ns,value\npdn.VDD_CORE.v,1100,0.8\npdn.VDD_CORE.v,1400,0.42\n");
+    }
+
+    #[test]
+    fn waveforms_csv_keeps_integral_values_floaty() {
+        let rec = Recorder::new();
+        rec.sample("ch", 3.0);
+        assert_eq!(waveforms_csv(&rec), "channel,at_ns,value\nch,0,3.0\n");
+    }
+
+    #[test]
+    fn empty_recorder_exports_are_valid() {
+        let rec = Recorder::new();
+        assert!(parse::parse(&chrome_trace(&rec).render()).is_ok());
+        assert_eq!(folded(&rec), "");
+        assert_eq!(waveforms_csv(&rec), "channel,at_ns,value\n");
+        let disabled = Recorder::disabled();
+        assert!(parse::parse(&chrome_trace(&disabled).render()).is_ok());
+        assert_eq!(folded(&disabled), "");
+    }
+}

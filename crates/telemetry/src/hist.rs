@@ -1,0 +1,398 @@
+//! Deterministic log-bucketed histograms.
+//!
+//! An HDR-style layout: values are binned into power-of-two octaves,
+//! each split into `2^SUB_BUCKET_BITS` linear sub-buckets, so the
+//! relative quantization error is bounded by `2^-SUB_BUCKET_BITS`
+//! (6.25 % at the default 4 bits) while the whole `u64` range fits in
+//! under a thousand buckets. Everything is integer arithmetic on exact
+//! counts: two histograms merge by adding bucket counts (commutative
+//! and associative), which is what lets worker threads record into a
+//! shared recorder without breaking byte-identical reports.
+//!
+//! Quantiles are derived exactly from the bucket counts — the same
+//! counts always yield the same `p50`/`p99`, independent of record
+//! order, platform, or thread count.
+
+use crate::json::Value;
+use crate::parse::ParseError;
+use std::collections::BTreeMap;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BUCKET_BITS` linear buckets.
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+const SUB_MASK: u64 = SUB_BUCKETS - 1;
+
+/// A deterministic log-bucketed histogram over `u64` samples.
+///
+/// Tracks the exact count, (saturating) sum, minimum, and maximum
+/// alongside the bucket counts; [`Histogram::quantile`] interpolates
+/// nothing — it walks the buckets and returns the covering bucket's
+/// upper bound, clamped to the observed `[min, max]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Sparse bucket index → sample count.
+    buckets: BTreeMap<u32, u64>,
+}
+
+/// The bucket index a value falls into. Values below `2^SUB_BUCKET_BITS`
+/// get exact singleton buckets; above that, index = octave · sub-buckets
+/// + sub-bucket, contiguous across octave boundaries.
+pub fn bucket_index(v: u64) -> u32 {
+    if v < SUB_BUCKETS {
+        return v as u32;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = msb - SUB_BUCKET_BITS + 1;
+    let sub = ((v >> (msb - SUB_BUCKET_BITS)) & SUB_MASK) as u32;
+    (octave << SUB_BUCKET_BITS) + sub
+}
+
+/// Smallest value mapping to `index` (inverse of [`bucket_index`]).
+pub fn bucket_low(index: u32) -> u64 {
+    let octave = u64::from(index >> SUB_BUCKET_BITS);
+    let sub = u64::from(index) & SUB_MASK;
+    if octave == 0 {
+        sub
+    } else {
+        (SUB_BUCKETS + sub) << (octave - 1)
+    }
+}
+
+/// Largest value mapping to `index` (inclusive).
+pub fn bucket_high(index: u32) -> u64 {
+    if index >= bucket_index(u64::MAX) {
+        u64::MAX
+    } else {
+        bucket_low(index + 1) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in one step.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += n;
+    }
+
+    /// Adds another histogram's samples into this one. Merging is
+    /// commutative and associative, so absorb order cannot change the
+    /// result.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The exact-from-buckets quantile: the upper bound of the bucket
+    /// containing the `ceil(q·count)`-th sample, clamped to the observed
+    /// `[min, max]`. Returns 0 for an empty histogram; `q` outside
+    /// `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The sparse `(bucket index, count)` pairs in index order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(&i, &n)| (i, n))
+    }
+
+    /// Deterministic JSON object: `count`, `sum`, `min`, `max`, `p50`,
+    /// `p90`, `p99`, and the sparse `buckets` as `[index, count]` pairs.
+    /// The quantiles are derived (and rederived on load); the bucket
+    /// counts are the source of truth.
+    pub fn to_value(&self) -> Value {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|(&i, &n)| Value::Array(vec![Value::from(u64::from(i)), Value::from(n)]))
+            .collect::<Vec<_>>();
+        Value::object(vec![
+            ("count", Value::from(self.count)),
+            ("sum", Value::from(self.sum)),
+            ("min", Value::from(self.min)),
+            ("max", Value::from(self.max)),
+            ("p50", Value::from(self.p50())),
+            ("p90", Value::from(self.p90())),
+            ("p99", Value::from(self.p99())),
+            ("buckets", Value::Array(buckets)),
+        ])
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] naming the missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<Histogram, ParseError> {
+        let schema = |detail: &str| ParseError { at: 0, detail: format!("histogram: {detail}") };
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| schema(&format!("{name} must be a u64")))
+        };
+        let mut buckets = BTreeMap::new();
+        for pair in v
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| schema("buckets must be an array"))?
+        {
+            let items = pair.as_array().ok_or_else(|| schema("bucket must be [index, count]"))?;
+            let (idx, n) = match items {
+                [i, n] => (
+                    i.as_u64().ok_or_else(|| schema("bucket index must be a u64"))?,
+                    n.as_u64().ok_or_else(|| schema("bucket count must be a u64"))?,
+                ),
+                _ => return Err(schema("bucket must be [index, count]")),
+            };
+            let idx = u32::try_from(idx)
+                .ok()
+                .filter(|&i| i <= bucket_index(u64::MAX))
+                .ok_or_else(|| schema("bucket index out of range"))?;
+            *buckets.entry(idx).or_insert(0) += n;
+        }
+        Ok(Histogram {
+            count: field("count")?,
+            sum: field("sum")?,
+            min: field("min")?,
+            max: field("max")?,
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_index(v), v as u32);
+            assert_eq!(bucket_low(v as u32), v);
+            assert_eq!(bucket_high(v as u32), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let top = bucket_index(u64::MAX);
+        for i in 0..top {
+            assert_eq!(bucket_high(i) + 1, bucket_low(i + 1), "gap after bucket {i}");
+        }
+        assert_eq!(bucket_high(top), u64::MAX);
+    }
+
+    #[test]
+    fn every_value_lands_in_its_own_bucket() {
+        for v in [0, 1, 15, 16, 17, 31, 32, 100, 1_000, 65_535, 1 << 40, u64::MAX / 2, u64::MAX - 1]
+        {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "value {v} outside bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), bucket_index(u64::MAX - 1));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 12_345, 1 << 33, 987_654_321] {
+            let i = bucket_index(v);
+            let width = bucket_high(i) - bucket_low(i) + 1;
+            assert!(
+                (width as f64) <= (bucket_low(i) as f64) / (SUB_BUCKETS as f64) + 1.0,
+                "bucket {i} too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_from_counts() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 50);
+        // p50 covers the 50th sample: value 50 lives in bucket [48, 51].
+        let p50 = h.p50();
+        assert!((48..=55).contains(&p50), "p50 was {p50}");
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.0), bucket_high(bucket_index(1)).clamp(1, 100));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_that_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_sequential() {
+        let mut seq = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3u64, 99, 4_000, 12, 1 << 30, 7] {
+            seq.record(v);
+        }
+        for v in [3u64, 99, 4_000] {
+            a.record(v);
+        }
+        for v in [12u64, 1 << 30, 7] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, seq);
+        assert_eq!(ba, seq);
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty, h);
+        h.merge(&Histogram::new());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn saturating_sum_never_panics() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn roundtrips_through_value() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 2, 500, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_value(&h.to_value()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_value().render(), h.to_value().render());
+    }
+
+    #[test]
+    fn from_value_rejects_malformed() {
+        assert!(Histogram::from_value(&Value::Null).is_err());
+        let missing = Value::object(vec![("count", Value::from(1u64))]);
+        assert!(Histogram::from_value(&missing).is_err());
+        let bad_bucket = Value::object(vec![
+            ("count", Value::from(1u64)),
+            ("sum", Value::from(1u64)),
+            ("min", Value::from(1u64)),
+            ("max", Value::from(1u64)),
+            ("buckets", Value::Array(vec![Value::from(3u64)])),
+        ]);
+        assert!(Histogram::from_value(&bad_bucket).is_err());
+    }
+}

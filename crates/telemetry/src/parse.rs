@@ -33,13 +33,20 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting depth [`parse`] accepts. Recursion into
+/// arrays/objects is bounded so adversarially deep input (a checkpoint
+/// file is attacker-ish input: it comes from disk) errors out instead
+/// of overflowing the stack.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document into a [`Value`].
 ///
 /// # Errors
 ///
-/// [`ParseError`] on malformed input or trailing non-whitespace.
+/// [`ParseError`] on malformed input, trailing non-whitespace, or
+/// nesting deeper than [`MAX_DEPTH`].
 pub fn parse(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -52,11 +59,21 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, detail: impl Into<String>) -> ParseError {
         ParseError { at: self.pos, detail: detail.into() }
+    }
+
+    /// Bounds container recursion; call on entering `[` or `{`.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -103,10 +120,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -117,6 +136,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -126,10 +146,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(pairs));
         }
         loop {
@@ -145,6 +167,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -437,6 +460,60 @@ mod tests {
         let err = parse("[1, x]").unwrap_err();
         assert_eq!(err.at, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn rejects_truncated_documents() {
+        // Every proper prefix of a valid document must fail cleanly —
+        // the shape a half-written checkpoint file takes after a crash.
+        let doc = r#"{"clock_ns":42,"events":[{"name":"eé"}],"x":-1.5e3}"#;
+        for cut in (1..doc.len()).filter(|&c| doc.is_char_boundary(c)) {
+            assert!(parse(&doc[..cut]).is_err(), "must reject truncation at byte {cut}");
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved_and_get_returns_the_first() {
+        // The builder never emits duplicates, but the parser tolerates
+        // them (insertion order preserved); lookups see the first.
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.as_object().unwrap().len(), 2);
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn non_u64_timestamps_are_not_u64() {
+        // Schema layers key off as_u64 to reject floats/negatives where
+        // a timestamp is required; confirm the accessor refuses them.
+        for doc in ["1.5", "-3", "\"42\"", "null"] {
+            assert_eq!(parse(doc).unwrap().as_u64(), None, "{doc}");
+        }
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_overflowed() {
+        let deep =
+            |n: usize, open: &str, close: &str| format!("{}1{}", open.repeat(n), close.repeat(n));
+        assert!(parse(&deep(MAX_DEPTH, "[", "]")).is_ok());
+        let err = parse(&deep(MAX_DEPTH + 1, "[", "]")).unwrap_err();
+        assert!(err.detail.contains("nesting"), "{err}");
+        // Far past the bound must error, not overflow the stack —
+        // including unclosed (truncated) nests and object nesting.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&deep(100_000, "[", "]")).is_err());
+        assert!(parse(&"{\"k\":".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn empty_containers_do_not_leak_depth() {
+        // `[]` takes the early-exit path in array(); its depth must be
+        // released, or MAX_DEPTH siblings would trip the bound.
+        let many_siblings = format!("[{}1]", "[],".repeat(MAX_DEPTH * 2));
+        assert!(parse(&many_siblings).is_ok());
+        let many_objects = format!("[{}1]", "{},".repeat(MAX_DEPTH * 2));
+        assert!(parse(&many_objects).is_ok());
     }
 
     #[test]

@@ -51,4 +51,31 @@ proptest! {
     fn parser_never_panics_on_arbitrary_input(s in ".{0,64}") {
         let _ = parse(&s);
     }
+
+    #[test]
+    fn parser_never_panics_on_json_like_noise(s in "[\\[\\]{}\",:0-9eE+.\\- \\\\un]{0,128}") {
+        // Arbitrary strings are mostly rejected at byte 0; this
+        // alphabet keeps the parser deep inside containers, numbers,
+        // strings, and escapes, where the panics would hide.
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_deep_nesting(
+        depth in 0usize..2_000,
+        open in prop_oneof![Just("["), Just("{\"k\":")],
+        closed in any::<bool>(),
+    ) {
+        // Nesting past MAX_DEPTH must error, not overflow the stack —
+        // whether or not the nest is ever closed.
+        let mut s = open.repeat(depth);
+        s.push('1');
+        if closed {
+            s.push_str(&if open == "[" { "]" } else { "}" }.repeat(depth));
+        }
+        let result = parse(&s);
+        if depth > voltboot_telemetry::parse::MAX_DEPTH {
+            prop_assert!(result.is_err());
+        }
+    }
 }
