@@ -13,12 +13,57 @@
 //! cargo run --release -p voltboot-bench --bin bench_snapshot
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use voltboot::telemetry::hist::Histogram;
 use voltboot::telemetry::Recorder;
 use voltboot_soc::{devices, PowerCycleSpec};
-use voltboot_sram::{ArrayConfig, OffEvent, ResolutionMode, SramArray, Temperature};
+use voltboot_sram::{par, ArrayConfig, OffEvent, ResolutionMode, SramArray, Temperature};
+
+/// Heap-allocation counter wrapped around the system allocator. Only
+/// counts while [`ALLOC_COUNTING`] is set, so the rest of the benchmark
+/// (and the runtime itself) costs nothing and pollutes nothing. The
+/// count gates the zero-steady-state-allocation contract of the warm
+/// resolution path: once the die planes are built and the arena is
+/// primed, a power cycle must not touch the allocator at all.
+struct CountingAlloc;
+
+static ALLOC_COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on
+// the returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ALLOC_COUNTING.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ALLOC_COUNTING.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ALLOC_COUNTING.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const MIB: usize = 1 << 20;
 
@@ -33,6 +78,19 @@ fn time_median<F: FnMut()>(iters: usize, mut f: F) -> Duration {
         .collect();
     samples.sort();
     samples[samples.len() / 2]
+}
+
+/// Minimum wall time of `iters` runs of `f` — the gate metric. On a
+/// noisy shared VM the median wobbles ±40%; the minimum is the run the
+/// machine didn't interrupt, which is what the code's speed actually is.
+fn time_min<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
 }
 
 /// One warm power cycle (partial retention at −110 °C / 20 ms — the
@@ -63,9 +121,28 @@ fn main() {
     batched.power_on_with(ResolutionMode::Batched).unwrap();
     cycle(&mut batched, ResolutionMode::Batched);
     let t_batched = time_median(15, || cycle(&mut batched, ResolutionMode::Batched));
+    let t_batched_min = time_min(15, || cycle(&mut batched, ResolutionMode::Batched));
 
     let mib_per_s = |t: Duration| 1.0 / t.as_secs_f64();
+    let batched_gib_per_s = 1.0 / 1024.0 / t_batched_min.as_secs_f64();
     let speedup = t_scalar.as_secs_f64() / t_batched.as_secs_f64();
+
+    // -- zero-steady-state-allocation gate -----------------------------
+    // The warm single-threaded cycle must never touch the allocator:
+    // planes are memoized, the image resolves in place, and the report
+    // shares its name through an `Arc<str>`. Measured under a budget of
+    // one so the sharded path's scoped threads (which do allocate, in
+    // `std`, per spawn) don't obscure the engine's own behaviour.
+    let steady_state_allocs = par::with_budget(1, || {
+        cycle(&mut batched, ResolutionMode::Batched); // settle the budgeted path
+        ALLOC_COUNT.store(0, Ordering::Relaxed);
+        ALLOC_COUNTING.store(true, Ordering::Relaxed);
+        for _ in 0..10 {
+            cycle(&mut batched, ResolutionMode::Batched);
+        }
+        ALLOC_COUNTING.store(false, Ordering::Relaxed);
+        ALLOC_COUNT.load(Ordering::Relaxed)
+    });
 
     // -- attack_e2e hot path: full-board warm power cycle --------------
     let mut soc = devices::raspberry_pi_4(0xCC);
@@ -82,7 +159,9 @@ fn main() {
     let workers = voltboot_sram::engine::resolution_workers(MIB * 8);
     println!("1 MiB warm power cycle, scalar : {t_scalar:?} ({:.1} MiB/s)", mib_per_s(t_scalar));
     println!("1 MiB warm power cycle, batched: {t_batched:?} ({:.1} MiB/s)", mib_per_s(t_batched));
+    println!("batched best-of-15             : {t_batched_min:?} ({batched_gib_per_s:.3} GiB/s)");
     println!("speedup (batched vs scalar)    : {speedup:.1}x");
+    println!("steady-state allocations       : {steady_state_allocs} per 10 warm cycles");
     println!("pi4 full-board warm power cycle: {t_soc:?}");
     println!("threads: {threads} (pool), resolution workers used: {workers}");
 
@@ -90,10 +169,14 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"sram\",\n  \"array_bytes\": {MIB},\n  \
          \"scalar_warm_cycle_ms\": {:.3},\n  \"batched_warm_cycle_ms\": {:.3},\n  \
+         \"batched_warm_cycle_min_ms\": {:.3},\n  \
          \"scalar_mib_per_s\": {:.2},\n  \"batched_mib_per_s\": {:.2},\n  \
+         \"batched_gib_per_s\": {batched_gib_per_s:.3},\n  \
+         \"steady_state_allocs\": {steady_state_allocs},\n  \
          \"speedup\": {:.2},\n  \"pi4_power_cycle_ms\": {:.3},\n  \"threads\": {workers}\n}}\n",
         t_scalar.as_secs_f64() * 1e3,
         t_batched.as_secs_f64() * 1e3,
+        t_batched_min.as_secs_f64() * 1e3,
         mib_per_s(t_scalar),
         mib_per_s(t_batched),
         speedup,
@@ -159,11 +242,32 @@ fn main() {
     std::fs::write("BENCH_telemetry.json", &telemetry_json).expect("write BENCH_telemetry.json");
     println!("wrote BENCH_telemetry.json");
 
+    let mut failed = false;
     if overhead_pct > 50.0 {
         eprintln!(
             "BENCH FAIL: disabled recorder costs {overhead_pct:.1}% on the warm power-cycle \
              path; the disabled path must stay free"
         );
+        failed = true;
+    }
+    // 0.195 GiB/s ≈ a 5 ms warm 1 MiB cycle — 5x the pre-bit-slicing
+    // engine (30 ms). Gated on the best-of-N minimum so shared-VM noise
+    // (±40% on the median here) cannot flap CI.
+    if batched_gib_per_s < 0.195 {
+        eprintln!(
+            "BENCH FAIL: warm batched cycle at {batched_gib_per_s:.3} GiB/s \
+             (best-of-15 {t_batched_min:?}); the bit-sliced engine floor is 0.195 GiB/s"
+        );
+        failed = true;
+    }
+    if steady_state_allocs != 0 {
+        eprintln!(
+            "BENCH FAIL: {steady_state_allocs} heap allocations across 10 warm power cycles; \
+             the plane-cache-warm resolution path must not allocate"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

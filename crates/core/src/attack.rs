@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use voltboot_pdn::Probe;
 use voltboot_soc::debug::RamId;
 use voltboot_soc::{BootSource, CycleFaults, PowerCycleSpec, Soc};
-use voltboot_sram::{PackedBits, Temperature};
+use voltboot_sram::{par, PackedBits, Temperature};
 use voltboot_telemetry::Recorder;
 
 /// Virtual duration of the pad-voltage measurement (identify step).
@@ -97,6 +97,16 @@ impl ExtractedImage {
     /// Builds an image and seals its readout CRC.
     pub fn new(source: impl Into<String>, bits: PackedBits) -> Self {
         let crc64 = recover::crc64_bits(&bits);
+        ExtractedImage { source: source.into(), bits, crc64 }
+    }
+
+    /// Builds an image from bits whose CRC was already computed in the
+    /// same pass that produced them (e.g.
+    /// [`recover::vote_owned_sealed`]), skipping the re-hash
+    /// [`ExtractedImage::new`] would do. The caller vouches that
+    /// `crc64 == crc64_bits(&bits)`; debug builds verify it.
+    pub fn from_sealed(source: impl Into<String>, bits: PackedBits, crc64: u64) -> Self {
+        debug_assert_eq!(crc64, recover::crc64_bits(&bits), "sealed CRC must match the bits");
         ExtractedImage { source: source.into(), bits, crc64 }
     }
 
@@ -687,27 +697,29 @@ impl VoltBootAttack {
         let mut flipped_total = 0usize;
         let mut repaired_total = 0u64;
         let mut unresolved_total = 0u64;
+        // Passes aligned to their pass index; `None` is an erasure
+        // (dropped pass) or a read selective repair skipped. One slot
+        // vector serves every unit: the draining vote empties it and
+        // the leftover pass buffers retire to the rep arena, so the
+        // per-unit loop allocates nothing once the arena is warm.
+        let mut pass_bits: Vec<Option<PackedBits>> = (0..passes).map(|_| None).collect();
         for (u, unit) in units.into_iter().enumerate() {
             let reads_before = unit_reads;
-            // Passes aligned to their pass index; `None` is an erasure
-            // (dropped pass) or a read selective repair skipped.
-            let mut pass_bits: Vec<Option<PackedBits>> = vec![None; passes as usize];
-            for &p in available.iter().take(2) {
+            debug_assert!(pass_bits.iter().all(Option::is_none), "slots reset between units");
+            // The cross-check CRC of each pass is computed once, right
+            // as the dump comes off the wire (while it is cache-hot),
+            // never re-derived from the stored buffer.
+            let mut check_crcs = [0u64; 2];
+            for (slot, &p) in available.iter().take(2).enumerate() {
                 let (bits, flipped) = read_pass(u, &unit, p)?;
                 unit_reads += 1;
                 flipped_total += flipped;
+                check_crcs[slot] = recover::crc64_bits(&bits);
                 pass_bits[p as usize] = Some(bits);
             }
             // Integrity cross-check: two clean reads of retained SRAM
             // hash identically; a mismatch flags the unit for repair.
-            let agree = match available.get(1) {
-                Some(&b) => {
-                    let first = pass_bits[available[0] as usize].as_ref().expect("read above");
-                    let second = pass_bits[b as usize].as_ref().expect("read above");
-                    recover::crc64_bits(first) == recover::crc64_bits(second)
-                }
-                None => true,
-            };
+            let agree = available.len() < 2 || check_crcs[0] == check_crcs[1];
             if !agree {
                 units_flagged += 1;
                 for &p in available.iter().skip(2) {
@@ -717,10 +729,19 @@ impl VoltBootAttack {
                     pass_bits[p as usize] = Some(bits);
                 }
             }
-            // Owned vote: the resolved image is voted *into* the first
-            // surviving pass's buffer, and the unit's label is moved —
-            // nothing in the per-unit hot loop copies a dump.
-            let (resolved, map) = recover::vote_owned(pass_bits).map_err(AttackError::from)?;
+            // Draining vote: the resolved image is voted *into* the
+            // first surviving pass's buffer, and the unit's label is
+            // moved — nothing in the per-unit hot loop copies a dump.
+            // The vote seals the resolved CRC in the same word loop, so
+            // the image is built without another full hash sweep; the
+            // passes it leaves behind are recycled.
+            let (resolved, map, crc) =
+                recover::vote_sealed_draining(&mut pass_bits).map_err(AttackError::from)?;
+            for slot in &mut pass_bits {
+                if let Some(p) = slot.take() {
+                    par::give_words(p.into_words());
+                }
+            }
             repaired_total += map.repaired;
             unresolved_total += map.unresolved;
             // Distributions over units: how many reads each one cost
@@ -728,7 +749,7 @@ impl VoltBootAttack {
             // and how many bits the vote had to repair in it.
             rec.record("attack.repair.reads_per_unit", unit_reads - reads_before);
             rec.record("attack.repair.repaired_per_unit", map.repaired);
-            let image = ExtractedImage::new(unit.source, resolved);
+            let image = ExtractedImage::from_sealed(unit.source, resolved, crc);
             confidence.push(ImageConfidence {
                 source: image.source.clone(),
                 crc64: image.crc64,
@@ -777,10 +798,21 @@ enum UnitKind {
 
 /// Reads one unit's current bits through the same debug paths the
 /// whole-plan extractors use, recording RAMINDEX readout telemetry.
+///
+/// The dump's byte scratch and the image's word storage both come from
+/// the calling thread's [rep arena](par): after the first few reads
+/// warm the freelist, re-reading a unit allocates nothing. The returned
+/// image's buffer goes back to the arena when the caller retires it
+/// ([`PackedBits::into_words`] + [`par::give_words`]).
 fn read_unit(soc: &Soc, unit: &UnitSpec, rec: &Recorder) -> Result<PackedBits, AttackError> {
     Ok(match unit.kind {
         UnitKind::Ram { core, ram, way } => {
-            PackedBits::from_bytes(&soc.ramindex_unit_traced(core, ram, way, false, rec)?)
+            let mut bytes = par::take_bytes(0);
+            soc.ramindex_unit_into(core, ram, way, false, rec, &mut bytes)?;
+            let bits =
+                PackedBits::from_bytes_reusing(&bytes, par::take_words(bytes.len().div_ceil(8)));
+            par::give_bytes(bytes);
+            bits
         }
         UnitKind::Registers { core } => {
             soc.core(core).map_err(|_| bad_core(core))?.vregs.image().map_err(AttackError::from)?
@@ -789,10 +821,12 @@ fn read_unit(soc: &Soc, unit: &UnitSpec, rec: &Recorder) -> Result<PackedBits, A
             let iram = soc
                 .iram()
                 .ok_or(AttackError::BadConfiguration { detail: "device has no iram".into() })?;
-            PackedBits::from_bytes(&soc.jtag_read(iram.base(), iram.len())?)
+            let bytes = soc.jtag_read(iram.base(), iram.len())?;
+            PackedBits::from_bytes_reusing(&bytes, par::take_words(bytes.len().div_ceil(8)))
         }
         UnitKind::DramRaw { addr, len } => {
-            PackedBits::from_bytes(soc.dram().raw_cells(addr, len).map_err(AttackError::from)?)
+            let cells = soc.dram().raw_cells(addr, len).map_err(AttackError::from)?;
+            PackedBits::from_bytes_reusing(cells, par::take_words(cells.len().div_ceil(8)))
         }
     })
 }

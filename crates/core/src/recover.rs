@@ -267,10 +267,10 @@ pub fn vote(passes: &[Option<&PackedBits>]) -> Result<(PackedBits, ConfidenceMap
     if passes.len() > MAX_PASSES as usize {
         return Err(IntegrityError::TooManyPasses { requested: passes.len() });
     }
-    let available: Vec<&PackedBits> = passes.iter().filter_map(|p| *p).collect();
-    let (&first, rest) = available.split_first().ok_or(IntegrityError::AllPassesErased)?;
-    let mut resolved = first.clone();
-    let conf = vote_into(&mut resolved, rest)?;
+    let first_at =
+        passes.iter().position(|p| p.is_some()).ok_or(IntegrityError::AllPassesErased)?;
+    let mut resolved = passes[first_at].expect("position() found it").clone();
+    let (conf, _crc) = vote_into(&mut resolved, &passes[first_at + 1..])?;
     Ok((resolved, conf))
 }
 
@@ -281,29 +281,73 @@ pub fn vote(passes: &[Option<&PackedBits>]) -> Result<(PackedBits, ConfidenceMap
 /// path, where every pass is a fresh megabit dump nobody needs
 /// afterwards.
 pub fn vote_owned(
-    mut passes: Vec<Option<PackedBits>>,
+    passes: Vec<Option<PackedBits>>,
 ) -> Result<(PackedBits, ConfidenceMap), IntegrityError> {
+    let (resolved, conf, _crc) = vote_owned_sealed(passes)?;
+    Ok((resolved, conf))
+}
+
+/// [`vote_owned`], additionally returning the [`crc64_bits`] seal of
+/// the resolved image.
+///
+/// The CRC is accumulated *inside* the vote's word loop, from the
+/// resolved words as they are written — the majority planes, the
+/// confidence counters, and the integrity seal all ride one pass over
+/// the image instead of the vote being followed by a second full sweep
+/// just to checksum its output. Identical to calling [`vote_owned`]
+/// and then [`crc64_bits`] on the result, for one table-step per word
+/// less memory traffic.
+pub fn vote_owned_sealed(
+    mut passes: Vec<Option<PackedBits>>,
+) -> Result<(PackedBits, ConfidenceMap, u64), IntegrityError> {
+    vote_sealed_draining(&mut passes)
+}
+
+/// [`vote_owned_sealed`] over a reusable pass slice: takes the first
+/// available pass *out* of `passes` (its slot becomes `None`) and votes
+/// the remaining entries in place, leaving them behind for the caller
+/// to recycle. This is the steady-state entry point for campaign-scale
+/// voted readout: the caller keeps one `Vec<Option<PackedBits>>` alive
+/// across readout units, refills it each unit, and returns the
+/// leftover pass buffers to the [rep arena](voltboot_sram::par) —
+/// nothing in the loop allocates once the arena is warm.
+///
+/// # Errors
+///
+/// Same classes as [`vote_owned_sealed`]; on error `passes` keeps all
+/// its entries except the first available one, which a length-mismatch
+/// error has already consumed into the failed resolution attempt.
+pub fn vote_sealed_draining(
+    passes: &mut [Option<PackedBits>],
+) -> Result<(PackedBits, ConfidenceMap, u64), IntegrityError> {
     if passes.len() > MAX_PASSES as usize {
         return Err(IntegrityError::TooManyPasses { requested: passes.len() });
     }
     let first_at =
         passes.iter().position(|p| p.is_some()).ok_or(IntegrityError::AllPassesErased)?;
     let mut resolved = passes[first_at].take().expect("position() found it");
-    let rest: Vec<&PackedBits> = passes[first_at..].iter().filter_map(|p| p.as_ref()).collect();
-    let conf = vote_into(&mut resolved, &rest)?;
-    Ok((resolved, conf))
+    // Stack-buffered reference slice (no per-vote allocation): at most
+    // MAX_PASSES - 1 passes can follow the first available one.
+    let mut rest: [Option<&PackedBits>; (MAX_PASSES - 1) as usize] = [None; 14];
+    for (slot, p) in rest.iter_mut().zip(&passes[first_at + 1..]) {
+        *slot = p.as_ref();
+    }
+    let (conf, crc) = vote_into(&mut resolved, &rest)?;
+    Ok((resolved, conf, crc))
 }
 
 /// Shared voting core: resolves `resolved` (the first available pass,
 /// also the tie-breaking reference) against the `rest` of the available
-/// passes in place, returning the confidence accounting. Pass counts
-/// and erasures are already dealt with by the callers; `resolved`
-/// counts as one vote.
+/// passes in place — `None` entries are erasures and contribute no
+/// votes — returning the confidence accounting and the [`crc64_bits`]
+/// seal of the resolved image (fused into the same word loop). Pass
+/// counts are already dealt with by the callers; `resolved` counts as
+/// one vote.
 fn vote_into(
     resolved: &mut PackedBits,
-    rest: &[&PackedBits],
-) -> Result<ConfidenceMap, IntegrityError> {
-    for p in rest {
+    rest: &[Option<&PackedBits>],
+) -> Result<(ConfidenceMap, u64), IntegrityError> {
+    for p in rest.iter().flatten() {
         if p.len() != resolved.len() {
             return Err(IntegrityError::LengthMismatch {
                 expected: resolved.len(),
@@ -312,7 +356,7 @@ fn vote_into(
         }
     }
 
-    let k = rest.len() + 1;
+    let k = rest.iter().flatten().count() + 1;
     let mut conf = ConfidenceMap {
         total_bits: resolved.len() as u64,
         votes: k as u32,
@@ -320,8 +364,16 @@ fn vote_into(
     };
     if k == 1 {
         conf.unanimous = conf.total_bits;
-        return Ok(conf);
+        return Ok((conf, crc64_bits(resolved)));
     }
+
+    // The CRC seal of the resolved image accumulates alongside the
+    // vote: full words step the slice-by-8 CRC directly, the final
+    // partial word (if the byte length is not word-aligned) steps its
+    // live bytes — exactly the [`crc64_bits`] traversal.
+    let nbytes = resolved.len().div_ceil(8);
+    let full_words = nbytes / 8;
+    let mut crc = !0u64;
 
     // Word-parallel resolution: per-bit vote counts are kept in four
     // binary "planes" (plane j holds bit j of every count), added with
@@ -334,7 +386,7 @@ fn vote_into(
         let mut planes = [0u64; 4];
         let mut all_and = !0u64;
         let mut all_or = 0u64;
-        for x in std::iter::once(refw).chain(rest.iter().map(|p| p.words()[w])) {
+        for x in std::iter::once(refw).chain(rest.iter().flatten().map(|p| p.words()[w])) {
             all_and &= x;
             all_or |= x;
             let mut carry = x;
@@ -357,12 +409,20 @@ fn vote_into(
         let tie = if ties_possible { eq & valid & !unanimous } else { 0 };
         let repaired = valid & !unanimous & !tie;
         // Majority-one bits set; tied bits keep the reference pass.
-        resolved.words_mut()[w] = (gt | (tie & refw)) & valid;
+        let out = (gt | (tie & refw)) & valid;
+        resolved.words_mut()[w] = out;
+        if w < full_words {
+            crc = step_word(crc, out);
+        } else {
+            for &b in &out.to_le_bytes()[..nbytes % 8] {
+                crc = step_byte(crc, b);
+            }
+        }
         conf.unanimous += unanimous.count_ones() as u64;
         conf.unresolved += tie.count_ones() as u64;
         conf.repaired += repaired.count_ones() as u64;
     }
-    Ok(conf)
+    Ok((conf, !crc))
 }
 
 #[cfg(test)]
@@ -550,6 +610,48 @@ mod tests {
             vote_owned(vec![None, Some(bad), Some(good.clone()), Some(good)]).unwrap();
         assert_eq!(got, want);
         assert_eq!(got_conf, want_conf);
+    }
+
+    #[test]
+    fn sealed_vote_crc_matches_post_hoc_seal() {
+        // The CRC fused into the vote loop must equal crc64_bits of the
+        // resolved image, across word-boundary and tail-byte lengths
+        // (including the k == 1 single-pass path).
+        for len in [1usize, 7, 8, 60, 64, 65, 100, 128, 130, 255, 257] {
+            let mut good = PackedBits::zeros(len);
+            for i in (0..len).step_by(3) {
+                good.set(i, true);
+            }
+            let mut bad = good.clone();
+            bad.set(len / 2, !bad.get(len / 2));
+            let (resolved, conf, crc) =
+                vote_owned_sealed(vec![Some(bad), Some(good.clone()), Some(good.clone())]).unwrap();
+            assert_eq!(resolved, good, "len {len}");
+            assert_eq!(crc, crc64_bits(&resolved), "fused seal must match, len {len}");
+            assert_eq!(conf.votes, 3);
+            let (single, single_conf, single_crc) =
+                vote_owned_sealed(vec![None, Some(good.clone())]).unwrap();
+            assert_eq!(single_crc, crc64_bits(&single), "single-pass seal, len {len}");
+            assert_eq!(single_conf.unanimous, len as u64);
+        }
+    }
+
+    #[test]
+    fn draining_vote_consumes_only_the_first_available_pass() {
+        let good = bits_of(&[true, false, true, true, false, false, true, false, true]);
+        let mut bad = good.clone();
+        bad.set(2, false);
+        let mut passes = vec![None, Some(bad.clone()), Some(good.clone()), Some(good.clone())];
+        let (want, want_conf) = vote(&[None, Some(&bad), Some(&good), Some(&good)]).unwrap();
+        let (resolved, conf, crc) = vote_sealed_draining(&mut passes).unwrap();
+        assert_eq!(resolved, want);
+        assert_eq!(conf, want_conf);
+        assert_eq!(crc, crc64_bits(&resolved));
+        // The first available slot was drained; the rest stay behind
+        // for buffer recycling.
+        assert!(passes[0].is_none() && passes[1].is_none());
+        assert_eq!(passes[2].as_ref(), Some(&good));
+        assert_eq!(passes[3].as_ref(), Some(&good));
     }
 
     #[test]

@@ -135,17 +135,39 @@ pub fn ramindex_read_way(
     trustzone_enforced: bool,
     requester_secure: bool,
 ) -> Result<Vec<u8>, SocError> {
+    let mut bytes = Vec::new();
+    ramindex_read_way_into(cache, way, trustzone_enforced, requester_secure, &mut bytes)?;
+    Ok(bytes)
+}
+
+/// [`ramindex_read_way`] appending into a caller-supplied buffer
+/// instead of allocating one — the voted multi-pass extraction re-reads
+/// the same ways thousands of times per campaign and recycles its dump
+/// buffers through an arena, so the read itself must not allocate.
+/// `out` is *not* cleared; the way's bytes are appended.
+///
+/// # Errors
+///
+/// Same classes as [`ramindex_read_way`]; on error `out` holds the
+/// beats read before the failure.
+pub fn ramindex_read_way_into(
+    cache: &Cache,
+    way: u8,
+    trustzone_enforced: bool,
+    requester_secure: bool,
+    out: &mut Vec<u8>,
+) -> Result<(), SocError> {
     let geometry = cache.geometry();
     let beats = geometry.sets() * geometry.line_bytes / RAMINDEX_BEAT_BYTES;
-    let mut bytes = Vec::with_capacity(geometry.sets() * geometry.line_bytes);
+    out.reserve(geometry.sets() * geometry.line_bytes);
     for beat in 0..beats {
         let words =
             ramindex_read(cache, true, way, beat as u32, trustzone_enforced, requester_secure)?;
         for w in words {
-            bytes.extend_from_slice(&w.to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
         }
     }
-    Ok(bytes)
+    Ok(())
 }
 
 /// A JTAG debug port with direct physical-memory access.

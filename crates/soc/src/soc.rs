@@ -936,10 +936,35 @@ impl Soc {
         requester_secure: bool,
         rec: &Recorder,
     ) -> Result<Vec<u8>, SocError> {
-        let bytes = self.ramindex_unit_inner(core, ram, way, requester_secure)?;
-        rec.incr("soc.ramindex.unit_reads", 1);
-        rec.record("soc.ramindex.unit_bytes", bytes.len() as u64);
+        let mut bytes = Vec::new();
+        self.ramindex_unit_into(core, ram, way, requester_secure, rec, &mut bytes)?;
         Ok(bytes)
+    }
+
+    /// [`Soc::ramindex_unit_traced`] reading into a caller-supplied
+    /// buffer (cleared first) instead of allocating one per read — the
+    /// allocation-free entry point the voted multi-pass extraction
+    /// drives with arena-recycled dump buffers. Bytes and telemetry are
+    /// identical to [`Soc::ramindex_unit_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Soc::ramindex_unit`]; on error `out`'s contents are
+    /// unspecified (a partial read).
+    pub fn ramindex_unit_into(
+        &self,
+        core: usize,
+        ram: RamId,
+        way: u8,
+        requester_secure: bool,
+        rec: &Recorder,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SocError> {
+        out.clear();
+        self.ramindex_unit_inner(core, ram, way, requester_secure, out)?;
+        rec.incr("soc.ramindex.unit_reads", 1);
+        rec.record("soc.ramindex.unit_bytes", out.len() as u64);
+        Ok(())
     }
 
     fn ramindex_unit_inner(
@@ -948,34 +973,36 @@ impl Soc {
         ram: RamId,
         way: u8,
         requester_secure: bool,
-    ) -> Result<Vec<u8>, SocError> {
+        out: &mut Vec<u8>,
+    ) -> Result<(), SocError> {
         let c = self.core(core)?;
         let cache = match ram {
             RamId::L1IData => &c.l1i,
             RamId::L1DData => &c.l1d,
             RamId::Tlb => {
-                let mut bytes = Vec::with_capacity(crate::tlb::TLB_ENTRIES * 8);
+                out.reserve(crate::tlb::TLB_ENTRIES * 8);
                 for entry in 0..crate::tlb::TLB_ENTRIES {
-                    bytes.extend_from_slice(&c.tlb.entry_word(entry)?.to_le_bytes());
+                    out.extend_from_slice(&c.tlb.entry_word(entry)?.to_le_bytes());
                 }
-                return Ok(bytes);
+                return Ok(());
             }
             RamId::Btb => {
-                let mut bytes = Vec::with_capacity(crate::btb::BTB_ENTRIES * 8);
+                out.reserve(crate::btb::BTB_ENTRIES * 8);
                 for entry in 0..crate::btb::BTB_ENTRIES {
-                    bytes.extend_from_slice(&c.btb.entry_word(entry)?.to_le_bytes());
+                    out.extend_from_slice(&c.btb.entry_word(entry)?.to_le_bytes());
                 }
-                return Ok(bytes);
+                return Ok(());
             }
             RamId::L1ITag | RamId::L1DTag => {
                 return Err(SocError::UnknownRamId { ramid: ram.code() })
             }
         };
-        crate::debug::ramindex_read_way(
+        crate::debug::ramindex_read_way_into(
             cache,
             way,
             self.policy.trustzone_enforced,
             requester_secure,
+            out,
         )
     }
 

@@ -131,16 +131,23 @@ pub enum ResolutionMode {
     /// Per-bit reference path: derive every cell's parameters and decide
     /// retention one bit at a time.
     Scalar,
-    /// Word-batched path: resolve 64 cells per iteration against the
-    /// memoized die planes, sharded across threads for large arrays.
+    /// Bit-sliced path at full lane width: resolve four words (256
+    /// cells) per kernel step against the memoized die planes, sharded
+    /// across threads for large arrays.
     Batched,
+    /// The bit-sliced path restricted to single-word (64-cell) kernels —
+    /// the lane-width oracle [`Batched`](ResolutionMode::Batched) is
+    /// tested against, exercising the same planes and fallbacks through
+    /// the narrow code path.
+    BatchedWord,
 }
 
 /// Summary of what a power cycle did to the array's contents.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RetentionReport {
-    /// Array name.
-    pub name: String,
+    /// Array name, shared with the array that produced the report (so a
+    /// million-cycle campaign clones a pointer per cycle, not a string).
+    pub name: Arc<str>,
     /// Total bits.
     pub bits: usize,
     /// Bits that kept their pre-cycle value.
@@ -191,6 +198,11 @@ pub struct SramArray {
     /// data only — rebuilt on demand after deserialization or cloning.
     #[serde(skip)]
     planes: Option<Arc<engine::DiePlanes>>,
+    /// Shared copy of `config.name` handed to every retention report.
+    /// Derived data (the config's name is immutable after construction);
+    /// lazily rebuilt after deserialization or cloning.
+    #[serde(skip)]
+    name_shared: Option<Arc<str>>,
 }
 
 impl SramArray {
@@ -207,6 +219,7 @@ impl SramArray {
             ever_powered: false,
             last_report: None,
             planes: None,
+            name_shared: None,
         }
     }
 
@@ -266,6 +279,12 @@ impl SramArray {
         rec.incr(if cached { "sram.planes.cache_hits" } else { "sram.planes.built" }, 1);
         self.planes = Some(p.clone());
         p
+    }
+
+    /// The array's name as a shared string, allocated once per array
+    /// (the config's name is immutable after construction).
+    fn shared_name(&mut self) -> Arc<str> {
+        self.name_shared.get_or_insert_with(|| Arc::from(self.config.name.as_str())).clone()
     }
 
     /// Powers the array on, resolving each cell against the accumulated
@@ -341,8 +360,9 @@ impl SramArray {
         let certainly_lost =
             first_power || (matches!(event, OffEvent::Unpowered) && stress > max_plausible_budget);
 
-        let batch = mode == ResolutionMode::Batched
+        let batch = mode != ResolutionMode::Scalar
             && engine::can_batch(&self.config.distribution, event, stress);
+        let wide = mode == ResolutionMode::Batched;
 
         if certainly_retained {
             retained = self.config.bits;
@@ -361,8 +381,16 @@ impl SramArray {
         } else if batch {
             let dist = self.config.distribution;
             let planes = self.planes(rec);
-            retained =
-                engine::resolve(&mut self.data, &planes, self.seed, &dist, event, stress, event_id);
+            retained = engine::resolve(
+                &mut self.data,
+                &planes,
+                self.seed,
+                &dist,
+                event,
+                stress,
+                event_id,
+                wide,
+            );
             lost = self.config.bits - retained;
         } else {
             for i in 0..self.config.bits {
@@ -390,12 +418,8 @@ impl SramArray {
         // sub-1.0 range out of the histogram's singleton buckets).
         rec.record("sram.lost_per_powerup", lost as u64);
         rec.record("sram.decay_stress_milli", (stress * 1e3) as u64);
-        let report = RetentionReport {
-            name: self.config.name.clone(),
-            bits: self.config.bits,
-            retained,
-            lost,
-        };
+        let report =
+            RetentionReport { name: self.shared_name(), bits: self.config.bits, retained, lost };
         self.last_report = Some(report.clone());
         Ok(report)
     }

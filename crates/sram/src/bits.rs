@@ -42,9 +42,37 @@ impl PackedBits {
 
     /// Builds a bit vector from bytes; the result has `bytes.len() * 8` bits.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        let mut b = PackedBits::zeros(bytes.len() * 8);
-        b.copy_bytes_in(0, bytes);
-        b
+        Self::from_bytes_reusing(bytes, Vec::new())
+    }
+
+    /// [`PackedBits::from_bytes`] into a recycled backing buffer (e.g.
+    /// one returned by [`PackedBits::into_words`] or the
+    /// [`crate::par`] rep arena): `words` is cleared and refilled, so a
+    /// buffer with enough capacity makes the conversion allocation-free.
+    /// Eight little-endian bytes pack into each word — identical layout
+    /// to [`PackedBits::from_bytes`].
+    pub fn from_bytes_reusing(bytes: &[u8], mut words: Vec<u64>) -> Self {
+        words.clear();
+        words.reserve(bytes.len().div_ceil(8));
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            words.push(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            words.push(u64::from_le_bytes(last));
+        }
+        PackedBits { len: bytes.len() * 8, words }
+    }
+
+    /// Consumes the vector, returning its backing word buffer for reuse
+    /// (typically handed back to the [`crate::par`] rep arena). The
+    /// contents are whatever the vector held; a later
+    /// [`PackedBits::from_bytes_reusing`] clears them.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
     }
 
     /// Number of bits.
@@ -254,18 +282,37 @@ impl PackedBits {
     pub fn windowed_hamming(&self, other: &PackedBits, window: usize) -> Vec<usize> {
         assert_eq!(self.len, other.len, "windowed hamming needs equal lengths");
         assert!(window > 0, "window must be positive");
+        // Word-parallel: xor whole words and popcount the span of each
+        // window inside them, instead of testing bits one at a time.
+        // Tail bits beyond `len` are zero in both images by invariant,
+        // so the xor never needs masking past the live length.
         let mut out = Vec::with_capacity(self.len.div_ceil(window));
-        let mut acc = 0usize;
-        for i in 0..self.len {
-            if self.get(i) != other.get(i) {
-                acc += 1;
-            }
-            if (i + 1) % window == 0 {
-                out.push(acc);
-                acc = 0;
+        let mut acc = 0usize; // mismatches in the current window so far
+        let mut in_win = 0usize; // bits of the current window consumed
+        let mut seen = 0usize; // live bits consumed overall
+        for (a, b) in self.words.iter().zip(&other.words) {
+            let mut x = a ^ b;
+            let mut avail = 64.min(self.len - seen);
+            seen += avail;
+            while avail > 0 {
+                let take = (window - in_win).min(avail);
+                if take >= 64 {
+                    acc += x.count_ones() as usize;
+                    x = 0;
+                } else {
+                    acc += (x & ((1u64 << take) - 1)).count_ones() as usize;
+                    x >>= take;
+                }
+                avail -= take;
+                in_win += take;
+                if in_win == window {
+                    out.push(acc);
+                    acc = 0;
+                    in_win = 0;
+                }
             }
         }
-        if !self.len.is_multiple_of(window) {
+        if in_win > 0 {
             out.push(acc);
         }
         out
@@ -324,6 +371,28 @@ mod tests {
     }
 
     #[test]
+    fn from_bytes_reusing_matches_from_bytes_and_reuses_storage() {
+        // Lengths straddling the 8-byte word granule, including empty.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255] {
+            let data: Vec<u8> = (0..len).map(|i| crate::rng::mix64(i as u64) as u8).collect();
+            let reference = {
+                let mut b = PackedBits::zeros(len * 8);
+                b.copy_bytes_in(0, &data);
+                b
+            };
+            assert_eq!(PackedBits::from_bytes(&data), reference, "len {len}");
+            let recycled = Vec::with_capacity(64);
+            let ptr = recycled.as_ptr();
+            let b = PackedBits::from_bytes_reusing(&data, recycled);
+            assert_eq!(b, reference, "reusing path, len {len}");
+            let words = b.into_words();
+            if len > 0 && len <= 64 * 8 {
+                assert_eq!(words.as_ptr(), ptr, "fitting buffer must be reused, len {len}");
+            }
+        }
+    }
+
+    #[test]
     fn copy_bytes_at_offset() {
         let mut b = PackedBits::zeros(64 * 8);
         b.copy_bytes_in(8 * 3, &[0xde, 0xad]);
@@ -345,6 +414,38 @@ mod tests {
         let a = PackedBits::ones(10);
         let b = PackedBits::zeros(10);
         assert_eq!(a.windowed_hamming(&b, 8), vec![8, 2]);
+    }
+
+    #[test]
+    fn windowed_hamming_matches_per_bit_reference() {
+        // The word-parallel path against a naive per-bit count, across
+        // window sizes that straddle word boundaries every which way.
+        let len = 517;
+        let mut a = PackedBits::zeros(len);
+        let mut b = PackedBits::zeros(len);
+        for i in 0..len {
+            a.set(i, crate::rng::mix64(i as u64) & 1 == 1);
+            b.set(i, crate::rng::mix64(i as u64 ^ 0xb0b) & 2 == 2);
+        }
+        for window in [1usize, 3, 8, 63, 64, 65, 128, 200, 517, 1000] {
+            let got = a.windowed_hamming(&b, window);
+            let mut want = Vec::new();
+            let mut acc = 0usize;
+            for i in 0..len {
+                if a.get(i) != b.get(i) {
+                    acc += 1;
+                }
+                if (i + 1) % window == 0 {
+                    want.push(acc);
+                    acc = 0;
+                }
+            }
+            if !len.is_multiple_of(window) {
+                want.push(acc);
+            }
+            assert_eq!(got, want, "window {window}");
+            assert_eq!(got.iter().sum::<usize>(), a.hamming(&b), "window {window} total");
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Word-batched, plane-cached resolution engine for power cycles.
+//! Bit-sliced, plane-cached resolution engine for power cycles.
 //!
 //! [`SramArray::power_on`](crate::SramArray::power_on) has to decide, for
 //! every cell, whether the off interval preserved its state, and sample a
@@ -12,39 +12,92 @@
 //! scalar path:
 //!
 //! 1. **Die planes** ([`DiePlanes`]) — per `(seed, distribution, size)`,
-//!    a one-time derivation pass packs the power-up classes into
-//!    strong-1/metastable bit masks and quantizes the per-cell DRV,
-//!    decay budget, and metastable bias into dense bucket planes. Planes
-//!    are memoized on the array and in a bounded global cache, so
+//!    a one-time derivation pass quantizes every cell's decay budget and
+//!    DRV onto 14- and 12-bit grids and *transposes* the buckets into
+//!    bit-sliced tiles: struct-of-arrays blocks of [`TILE_WORDS`] words
+//!    × 28 rows (14 decay bit-planes, 12 DRV bit-planes, strong-1,
+//!    metastable), each tile 14 KiB and L1-resident while its 4096
+//!    cells resolve. The grid widths trade exact-fallback volume
+//!    against memory traffic: each extra bit-plane row streams another
+//!    ~0.13 bytes per cell per cycle, while each bit *removed* doubles
+//!    the (cheap, exact) bucket-tie fallback rate — these widths keep
+//!    ties in the low thousands per megabyte while the warm cycle stays
+//!    bandwidth-lean.
+//!    Planes are memoized on the array and in a bounded global cache, so
 //!    repeated cycles of the same die (the common case) derive nothing.
-//! 2. **Word kernels** — resolution walks the array 64 cells at a time,
-//!    comparing bucket planes against the bucketized query (hold voltage,
-//!    accumulated stress) and writing the merged retain/power-up word
-//!    straight into [`PackedBits`] words. Only cells whose bucket *equals*
-//!    the query bucket fall back to the exact scalar derivation, which
-//!    keeps the result identical to the reference path: the bucket maps
-//!    are weakly monotone, so an unequal bucket already decides the
-//!    comparison, and the rare equal bucket is re-decided exactly.
+//! 2. **Lane kernels** — resolution is pure mask algebra over the bucket
+//!    planes: an MSB-first eq-prefix scan compares 64 cells per row
+//!    operation (~2 ALU ops per row, 12 rows), and the const-generic
+//!    [`resolve_chunk`] widens that to 256-bit effective lanes by
+//!    processing four consecutive words per step. Only cells whose
+//!    bucket *equals* the query bucket fall back to the exact scalar
+//!    derivation, which keeps the result identical to the reference
+//!    path: the bucket maps are weakly monotone, so an unequal bucket
+//!    already decides the comparison, and the rare equal bucket is
+//!    re-decided exactly.
 //! 3. **Sharding** — arrays at or above [`PAR_MIN_BITS`] split their word
-//!    range across scoped threads. Every word is a pure function of
-//!    `(seed, index, event)`, so the sharding is deterministic and the
-//!    thread count ([`crate::par::thread_count`]) never changes results.
+//!    range across scoped threads on tile-aligned boundaries. Every word
+//!    is a pure function of `(seed, index, event)`, so the sharding is
+//!    deterministic and the thread count ([`crate::par::thread_count`])
+//!    never changes results.
 
 use crate::array::OffEvent;
 use crate::bits::PackedBits;
 use crate::cell::{derive_decay_budget, derive_drv, derive_powerup, CellDistribution, PowerUpKind};
 use crate::par;
-use crate::rng::{event_word, unit_f64};
+use crate::rng::{event_word_at, unit_f64};
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Arrays with at least this many bits shard word-range resolution and
-/// plane building across threads; smaller arrays stay single-threaded
-/// (the per-thread startup cost would exceed the work).
-pub const PAR_MIN_BITS: usize = 1 << 20;
+/// plane building across threads; smaller arrays stay single-threaded.
+/// The bit-sliced kernels resolve a word in a few nanoseconds, so the
+/// break-even point sits well above the old per-cell engine's — spawning
+/// scoped threads for anything under half a megabyte costs more than it
+/// saves.
+pub const PAR_MIN_BITS: usize = 1 << 22;
+
+/// Words per tile (4096 cells). One tile's 28 rows occupy 14 KiB — the
+/// whole working set of a resolution step fits in L1.
+pub(crate) const TILE_WORDS: usize = 64;
+
+/// Cells per tile.
+const TILE_CELLS: usize = TILE_WORDS * 64;
+
+/// Bits in the decay-budget bucket grid (one bit-plane row each).
+///
+/// Wider than the DRV grid on purpose: a decay bucket tie re-derives
+/// `exp(sigma * z)` — a Box–Muller normal plus an `exp`, ~100 ns — and
+/// every unpowered cycle pays the tie volume, so two extra rows of
+/// streamed plane traffic buy a 4× cut in that fallback.
+const DECAY_BITS: usize = 14;
+
+/// Bits in the DRV bucket grid (one bit-plane row each). DRV rows are
+/// only scanned by held-rail queries and their tie fallback is a single
+/// normal draw, so the narrower grid wins back plane memory.
+const DRV_BITS: usize = 12;
+
+/// Rows per tile: 14 decay bit-planes, 12 DRV bit-planes, strong-1,
+/// metastable.
+const TILE_ROWS: usize = DECAY_BITS + DRV_BITS + 2;
+
+/// First decay bit-plane row (row `r` holds bit `DECAY_BITS - 1 - r` of
+/// every cell's decay bucket — MSB first, matching the compare scan
+/// order).
+const DECAY_ROW0: usize = 0;
+
+/// First DRV bit-plane row (same MSB-first layout).
+const DRV_ROW0: usize = DECAY_BITS;
+
+/// Row of the strong-1 power-up mask.
+const STRONG1_ROW: usize = DECAY_BITS + DRV_BITS;
+
+/// Row of the metastable power-up mask.
+const META_ROW: usize = STRONG1_ROW + 1;
 
 /// Total cells the global plane cache may hold before evicting the
-/// oldest die (≈9 bytes of plane data per cell).
+/// oldest die (≈4.3 bytes of plane data per cell, plus one 32 KiB cut
+/// table per die).
 const MAX_CACHED_CELLS: usize = 48 << 20;
 
 // ---------------------------------------------------------------------
@@ -52,23 +105,74 @@ const MAX_CACHED_CELLS: usize = 48 << 20;
 // ---------------------------------------------------------------------
 //
 // Each quantizer is a weakly monotone map from the exact f64 quantity to
-// a small integer bucket: `x <= y` implies `bucket(x) <= bucket(y)`.
-// Strict bucket inequality therefore decides the underlying comparison;
-// bucket equality is re-decided by deriving the exact value. This is
-// what makes the cached planes bit-exact with the scalar path.
+// a small bucket: `x <= y` implies `bucket(x) <= bucket(y)`. Strict
+// bucket inequality therefore decides the underlying comparison; bucket
+// equality is re-decided by deriving the exact value. This is what makes
+// the cached planes bit-exact with the scalar path.
 
 /// Buckets a probability in `[0, 1]` (power-up bias and its uniform
-/// sample) onto a 2^16 grid.
+/// sample) onto a 2^8 grid.
+///
+/// Multiplying a finite f64 by a power of two is exact, so this is the
+/// true floor of `p * 256` — which makes the bucket of a uniform sample
+/// `u = unit_f64(w)` recoverable straight from the random word's top
+/// byte (`w >> 56`) with no float arithmetic at all; the hot power-up
+/// sampler relies on that identity (tested below). Eight bits keeps the
+/// per-cell bias plane at one byte — the plane is read at sparse,
+/// data-dependent offsets, so its cache traffic is what the grid width
+/// actually buys — while ties (≈1/256 of draws) re-derive exactly.
 #[inline]
-fn prob_bucket(p: f64) -> u16 {
-    ((p * 65536.0) as u64).min(65535) as u16
+fn prob_bucket(p: f64) -> u8 {
+    ((p * 256.0) as u64).min(255) as u8
 }
 
-/// Buckets a positive decay budget (or stress) by the high 32 bits of
-/// its IEEE-754 representation, which order-embeds the positive floats.
-#[inline]
-fn decay_bucket(x: f64) -> u32 {
-    (x.to_bits() >> 32) as u32
+/// Number of cut points in a [`DecayCuts`] table (one fewer than the
+/// number of buckets, so every bucket index fits in [`DECAY_BITS`] bits).
+const DECAY_CUTS: usize = (1 << DECAY_BITS) - 1;
+
+/// Half-width of the standard-normal grid the cuts are placed on. The
+/// decay budget is `exp(sigma * z)` with `z` standard normal, so cuts at
+/// `exp(sigma * z_i)` for `z_i` linear over `[-8, 8]` spread the budget
+/// distribution's entire plausible mass across the 2^12 buckets; the
+/// astronomically rare `|z| > 8` tail lands in the end buckets and is
+/// re-decided exactly like any other bucket tie.
+const DECAY_Z_SPAN: f64 = 8.0;
+
+/// Sorted cut table bucketing positive decay budgets (and the query's
+/// accumulated stress) onto a 2^12 grid.
+///
+/// `bucket(x)` is the number of cuts `<= x` — a [`partition_point`] over
+/// a sorted table, which is weakly monotone *by construction*, with no
+/// assumption about floating-point rounding in the cut values
+/// themselves: if `bucket(x) < bucket(y)` then the cut at index
+/// `bucket(x)` satisfies `x < cut <= y`, so `x < y`. A degenerate
+/// distribution (e.g. `decay_sigma == 0` collapsing every cut to 1.0)
+/// only collapses buckets, which routes more cells through the exact
+/// fallback — slower, never wrong.
+///
+/// [`partition_point`]: slice::partition_point
+struct DecayCuts {
+    cuts: Vec<f64>,
+}
+
+impl DecayCuts {
+    fn new(decay_sigma: f64) -> Self {
+        let mut cuts = Vec::with_capacity(DECAY_CUTS);
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..DECAY_CUTS {
+            let z = -DECAY_Z_SPAN + 2.0 * DECAY_Z_SPAN * (i as f64) / ((DECAY_CUTS - 1) as f64);
+            // The running max forces the table sorted even if `exp`
+            // rounding were non-monotone somewhere.
+            hi = hi.max((decay_sigma * z).exp());
+            cuts.push(hi);
+        }
+        DecayCuts { cuts }
+    }
+
+    #[inline]
+    fn bucket(&self, x: f64) -> u16 {
+        self.cuts.partition_point(|c| *c <= x) as u16
+    }
 }
 
 /// Linear bucket grid over the clamped DRV range.
@@ -79,8 +183,10 @@ struct DrvGrid {
 }
 
 impl DrvGrid {
+    const MAX: f64 = ((1 << DRV_BITS) - 1) as f64;
+
     fn new(dist: &CellDistribution) -> Self {
-        DrvGrid { min: dist.drv_min, scale: 65535.0 / (dist.drv_max - dist.drv_min) }
+        DrvGrid { min: dist.drv_min, scale: Self::MAX / (dist.drv_max - dist.drv_min) }
     }
 
     #[inline]
@@ -88,8 +194,8 @@ impl DrvGrid {
         let t = (v - self.min) * self.scale;
         if t <= 0.0 {
             0
-        } else if t >= 65535.0 {
-            65535
+        } else if t >= Self::MAX {
+            (1 << DRV_BITS) - 1
         } else {
             t as u16
         }
@@ -100,23 +206,26 @@ impl DrvGrid {
 // Die planes
 // ---------------------------------------------------------------------
 
-/// Precomputed, quantized per-cell parameter planes for one die.
+/// Precomputed, bit-sliced per-cell parameter planes for one die.
 ///
-/// Mask vectors are packed like [`PackedBits`] words (bit `i % 64` of
-/// word `i / 64`); bucket planes hold one entry per cell, padded to a
-/// whole word so kernels can index without bounds checks.
+/// The flat `tiles` vector holds `n_tiles × TILE_ROWS × TILE_WORDS`
+/// words: tile `t`'s row `r` occupies
+/// `tiles[(t * TILE_ROWS + r) * TILE_WORDS ..][.. TILE_WORDS]`, and bit
+/// `b` of word `j` in a row describes cell `(t * TILE_WORDS + j) * 64 +
+/// b`. Rows `0..12` are the decay-bucket bit-planes (MSB first), rows
+/// `12..24` the DRV bit-planes, row 24 the strong-1 mask, row 25 the
+/// metastable mask. The metastable power-up bias stays a flat per-cell
+/// byte plane — it is only read for the small minority of lost
+/// metastable cells, whose per-event RNG sampling is inherently
+/// per-cell.
 pub(crate) struct DiePlanes {
     bits: usize,
-    /// Cells that power up as a reliable 1.
-    strong1: Vec<u64>,
-    /// Cells whose power-up value is metastable (re-sampled per event).
-    metastable: Vec<u64>,
-    /// Quantized power-up bias of each cell.
-    bias_q: Vec<u16>,
-    /// Quantized data-retention voltage of each cell.
-    drv_q: Vec<u16>,
-    /// Quantized decay budget of each cell.
-    decay_q: Vec<u32>,
+    /// Bit-sliced tile data (see the struct docs for the layout).
+    tiles: Vec<u64>,
+    /// Quantized power-up bias of each cell, padded to whole tiles.
+    bias_q: Vec<u8>,
+    /// The decay-budget cut table (also buckets the query's stress).
+    decay_cuts: DecayCuts,
 }
 
 impl std::fmt::Debug for DiePlanes {
@@ -131,118 +240,84 @@ impl DiePlanes {
         self.bits
     }
 
-    fn cells_capacity(&self) -> usize {
-        self.bias_q.len()
+    /// All [`TILE_ROWS`] rows of tile `t`.
+    #[inline]
+    fn tile(&self, t: usize) -> &[u64] {
+        &self.tiles[t * TILE_ROWS * TILE_WORDS..][..TILE_ROWS * TILE_WORDS]
     }
 
     /// Derives the planes for one die, sharding large arrays across
-    /// threads.
+    /// threads on tile boundaries.
     fn build(seed: u64, bits: usize, dist: &CellDistribution) -> Self {
-        let words = bits.div_ceil(64);
-        let cells = words * 64;
-        let mut planes = DiePlanes {
-            bits,
-            strong1: vec![0; words],
-            metastable: vec![0; words],
-            bias_q: vec![0; cells],
-            drv_q: vec![0; cells],
-            decay_q: vec![0; cells],
-        };
+        let n_tiles = bits.div_ceil(64).div_ceil(TILE_WORDS);
+        let decay_cuts = DecayCuts::new(dist.decay_sigma);
+        let mut tiles = vec![0u64; n_tiles * TILE_ROWS * TILE_WORDS];
+        let mut bias_q = vec![0u8; n_tiles * TILE_CELLS];
         let grid = DrvGrid::new(dist);
         let threads = par::effective_parallelism();
-        if bits < PAR_MIN_BITS || threads <= 1 || words <= 1 {
-            build_range(seed, bits, dist, grid, 0, planes.shard_mut(0, words));
-            return planes;
+        if bits < PAR_MIN_BITS || threads <= 1 || n_tiles <= 1 {
+            build_tiles(seed, bits, dist, grid, &decay_cuts, 0, &mut tiles, &mut bias_q);
+        } else {
+            let per_shard = n_tiles.div_ceil(threads);
+            std::thread::scope(|s| {
+                let tile_chunks = tiles.chunks_mut(per_shard * TILE_ROWS * TILE_WORDS);
+                let bias_chunks = bias_q.chunks_mut(per_shard * TILE_CELLS);
+                for (i, (tc, bc)) in tile_chunks.zip(bias_chunks).enumerate() {
+                    let cuts = &decay_cuts;
+                    s.spawn(move || {
+                        build_tiles(seed, bits, dist, grid, cuts, i * per_shard, tc, bc)
+                    });
+                }
+            });
         }
-        let chunk = words.div_ceil(threads);
-        let DiePlanes { strong1, metastable, bias_q, drv_q, decay_q, .. } = &mut planes;
-        crossbeam::thread::scope(|s| {
-            let mut rest = Shard {
-                strong1: strong1.as_mut_slice(),
-                metastable: metastable.as_mut_slice(),
-                bias_q: bias_q.as_mut_slice(),
-                drv_q: drv_q.as_mut_slice(),
-                decay_q: decay_q.as_mut_slice(),
-            };
-            let mut base = 0usize;
-            while base < words {
-                let take = chunk.min(words - base);
-                let (head, tail) = rest.split_at(take);
-                rest = tail;
-                let word_base = base;
-                s.spawn(move |_| build_range(seed, bits, dist, grid, word_base, head));
-                base += take;
-            }
-        })
-        .expect("plane build worker panicked");
-        planes
-    }
-
-    /// A mutable view of `len` words of every plane starting at `word`.
-    fn shard_mut(&mut self, word: usize, len: usize) -> Shard<'_> {
-        Shard {
-            strong1: &mut self.strong1[word..word + len],
-            metastable: &mut self.metastable[word..word + len],
-            bias_q: &mut self.bias_q[word * 64..(word + len) * 64],
-            drv_q: &mut self.drv_q[word * 64..(word + len) * 64],
-            decay_q: &mut self.decay_q[word * 64..(word + len) * 64],
-        }
+        DiePlanes { bits, tiles, bias_q, decay_cuts }
     }
 }
 
-/// Mutable word-aligned slices of every plane, for parallel building.
-struct Shard<'a> {
-    strong1: &'a mut [u64],
-    metastable: &'a mut [u64],
-    bias_q: &'a mut [u16],
-    drv_q: &'a mut [u16],
-    decay_q: &'a mut [u32],
-}
-
-impl<'a> Shard<'a> {
-    fn split_at(self, words: usize) -> (Shard<'a>, Shard<'a>) {
-        let (s1a, s1b) = self.strong1.split_at_mut(words);
-        let (ma, mb) = self.metastable.split_at_mut(words);
-        let (ba, bb) = self.bias_q.split_at_mut(words * 64);
-        let (da, db) = self.drv_q.split_at_mut(words * 64);
-        let (ka, kb) = self.decay_q.split_at_mut(words * 64);
-        (
-            Shard { strong1: s1a, metastable: ma, bias_q: ba, drv_q: da, decay_q: ka },
-            Shard { strong1: s1b, metastable: mb, bias_q: bb, drv_q: db, decay_q: kb },
-        )
-    }
-}
-
-/// Fills one word range of the planes by deriving every cell once.
-fn build_range(
+/// Fills a run of tiles starting at `tile_base` by deriving every cell
+/// once and transposing its bucket bits into the row bit-planes.
+#[allow(clippy::too_many_arguments)]
+fn build_tiles(
     seed: u64,
     bits: usize,
     dist: &CellDistribution,
     grid: DrvGrid,
-    word_base: usize,
-    shard: Shard<'_>,
+    cuts: &DecayCuts,
+    tile_base: usize,
+    tiles: &mut [u64],
+    bias_q: &mut [u8],
 ) {
-    for w in 0..shard.strong1.len() {
-        let mut strong1 = 0u64;
-        let mut metastable = 0u64;
-        for b in 0..64 {
-            let cell = (word_base + w) * 64 + b;
-            if cell >= bits {
-                break;
+    for (ti, tile) in tiles.chunks_mut(TILE_ROWS * TILE_WORDS).enumerate() {
+        let word0 = (tile_base + ti) * TILE_WORDS;
+        for j in 0..TILE_WORDS {
+            let mut strong1 = 0u64;
+            let mut metastable = 0u64;
+            for b in 0..64 {
+                let cell = (word0 + j) * 64 + b;
+                if cell >= bits {
+                    break;
+                }
+                let (kind, bias) = derive_powerup(seed, cell, dist);
+                match kind {
+                    PowerUpKind::Strong0 => {}
+                    PowerUpKind::Strong1 => strong1 |= 1 << b,
+                    PowerUpKind::Metastable => metastable |= 1 << b,
+                }
+                bias_q[ti * TILE_CELLS + j * 64 + b] = prob_bucket(bias);
+                let vq = grid.bucket(derive_drv(seed, cell, dist));
+                let dq = cuts.bucket(derive_decay_budget(seed, cell, dist));
+                for r in 0..DECAY_BITS {
+                    tile[(DECAY_ROW0 + r) * TILE_WORDS + j] |=
+                        u64::from((dq >> (DECAY_BITS - 1 - r)) & 1) << b;
+                }
+                for r in 0..DRV_BITS {
+                    tile[(DRV_ROW0 + r) * TILE_WORDS + j] |=
+                        u64::from((vq >> (DRV_BITS - 1 - r)) & 1) << b;
+                }
             }
-            let local = w * 64 + b;
-            let (kind, bias) = derive_powerup(seed, cell, dist);
-            match kind {
-                PowerUpKind::Strong0 => {}
-                PowerUpKind::Strong1 => strong1 |= 1 << b,
-                PowerUpKind::Metastable => metastable |= 1 << b,
-            }
-            shard.bias_q[local] = prob_bucket(bias);
-            shard.drv_q[local] = grid.bucket(derive_drv(seed, cell, dist));
-            shard.decay_q[local] = decay_bucket(derive_decay_budget(seed, cell, dist));
+            tile[STRONG1_ROW * TILE_WORDS + j] = strong1;
+            tile[META_ROW * TILE_WORDS + j] = metastable;
         }
-        shard.strong1[w] = strong1;
-        shard.metastable[w] = metastable;
     }
 }
 
@@ -251,6 +326,11 @@ fn build_range(
 // ---------------------------------------------------------------------
 
 type PlaneKey = (u64, usize, [u64; 6]);
+
+/// A cache slot: inserted under the lock *before* building, so exactly
+/// one thread ever derives a given die — concurrent requesters block on
+/// the same [`OnceLock`] instead of racing duplicate builds.
+type PlaneSlot = Arc<OnceLock<Arc<DiePlanes>>>;
 
 fn plane_key(seed: u64, bits: usize, dist: &CellDistribution) -> PlaneKey {
     (
@@ -267,45 +347,58 @@ fn plane_key(seed: u64, bits: usize, dist: &CellDistribution) -> PlaneKey {
     )
 }
 
-static PLANE_CACHE: Mutex<VecDeque<(PlaneKey, Arc<DiePlanes>)>> = Mutex::new(VecDeque::new());
+/// Plane cells a key will occupy once built, padded to whole tiles —
+/// derivable from the key alone, so eviction accounting never has to
+/// wait for (or lock around) a slot that is still building.
+fn key_cells(key: &PlaneKey) -> usize {
+    key.1.div_ceil(TILE_CELLS) * TILE_CELLS
+}
+
+static PLANE_CACHE: Mutex<VecDeque<(PlaneKey, PlaneSlot)>> = Mutex::new(VecDeque::new());
 
 /// Returns the memoized planes for one die, building them on first use,
-/// plus whether the planes were served from the cache (`true`) or had
-/// to be derived (`false`) — the campaign telemetry layer reports this
-/// as plane-cache hit/miss counters.
+/// plus whether this call was served an existing build (`true`) or had
+/// to derive the planes itself (`false`) — the campaign telemetry layer
+/// reports this as plane-cache hit/miss counters.
 ///
 /// The cache is keyed by `(seed, size, distribution)` and bounded by
-/// total cells; the oldest die is evicted first. Building happens
-/// outside the lock so concurrent arrays (e.g. every cache of a SoC
-/// powering on in parallel) never serialize on each other's builds.
+/// total cells; the oldest die is evicted first. The slot for a key is
+/// inserted under the lock but *built* outside it, so a long derivation
+/// never serializes unrelated dies — and because the slot is a
+/// [`OnceLock`], concurrent requests for the *same* die block on one
+/// build instead of each deriving a private copy (and instead of the
+/// insert-last-wins race the double-checked scheme used to have, where
+/// an eviction between the two checks could drop a freshly built die).
 pub(crate) fn planes_for(
     seed: u64,
     bits: usize,
     dist: &CellDistribution,
 ) -> (Arc<DiePlanes>, bool) {
     let key = plane_key(seed, bits, dist);
-    if let Some(found) = PLANE_CACHE
-        .lock()
-        .expect("plane cache poisoned")
-        .iter()
-        .find(|(k, _)| *k == key)
-        .map(|(_, p)| p.clone())
-    {
-        return (found, true);
-    }
-    let built = Arc::new(DiePlanes::build(seed, bits, dist));
-    let mut cache = PLANE_CACHE.lock().expect("plane cache poisoned");
-    if let Some(found) = cache.iter().find(|(k, _)| *k == key).map(|(_, p)| p.clone()) {
-        return (found, true);
-    }
-    cache.push_back((key, built.clone()));
-    let mut total: usize = cache.iter().map(|(_, p)| p.cells_capacity()).sum();
-    while total > MAX_CACHED_CELLS && cache.len() > 1 {
-        if let Some((_, evicted)) = cache.pop_front() {
-            total -= evicted.cells_capacity();
+    let slot: PlaneSlot = {
+        let mut cache = PLANE_CACHE.lock().expect("plane cache poisoned");
+        if let Some((_, s)) = cache.iter().find(|(k, _)| *k == key) {
+            s.clone()
+        } else {
+            let s: PlaneSlot = Arc::new(OnceLock::new());
+            cache.push_back((key, s.clone()));
+            let mut total: usize = cache.iter().map(|(k, _)| key_cells(k)).sum();
+            while total > MAX_CACHED_CELLS && cache.len() > 1 {
+                if let Some((evicted, _)) = cache.pop_front() {
+                    total -= key_cells(&evicted);
+                }
+            }
+            s
         }
-    }
-    (built, false)
+    };
+    let mut built_here = false;
+    let planes = slot
+        .get_or_init(|| {
+            built_here = true;
+            Arc::new(DiePlanes::build(seed, bits, dist))
+        })
+        .clone();
+    (planes, !built_here)
 }
 
 /// Drops every memoized plane (used by benchmarks to measure the cold,
@@ -339,15 +432,19 @@ pub(crate) fn can_batch(dist: &CellDistribution, event: OffEvent, stress: f64) -
     grid_ok && event_ok && !stress.is_nan()
 }
 
-/// One power-cycle resolution query, pre-bucketized.
+/// One power-cycle resolution query, pre-bucketized against the die's
+/// quantizer grids.
 struct Query<'a> {
     seed: u64,
     dist: &'a CellDistribution,
-    event_id: u64,
+    /// Hoisted cell-independent half of the per-event RNG word
+    /// ([`crate::rng::event_base`]) — the power-up sampler finishes it
+    /// with one `event_word_at` per lost metastable cell.
+    ev_base: u64,
     /// `stress <= 0`: every cell is within its decay budget.
     all_decay_ok: bool,
     stress: f64,
-    stress_q: u32,
+    stress_q: u16,
     /// `None` for an unpowered rail (no DRV check); otherwise the held
     /// threshold `min(steady, transient)` and its bucket.
     hold: Option<HoldQuery>,
@@ -370,6 +467,7 @@ impl<'a> Query<'a> {
         event: OffEvent,
         stress: f64,
         event_id: u64,
+        planes: &DiePlanes,
     ) -> Self {
         let hold = match event {
             OffEvent::Unpowered => None,
@@ -386,112 +484,178 @@ impl<'a> Query<'a> {
         Query {
             seed,
             dist,
-            event_id,
+            ev_base: crate::rng::event_base(seed, event_id),
             all_decay_ok: stress <= 0.0,
             stress,
-            stress_q: decay_bucket(stress),
+            stress_q: planes.decay_cuts.bucket(stress),
             hold,
         }
     }
 }
 
-/// Resolves one word: decides retention for its 64 cells, samples
-/// power-up values for the lost ones, and returns the merged word plus
-/// the retained count.
+/// Compares `BITS` bit-plane rows against the query bucket `t` for `N`
+/// consecutive words starting at in-tile word `j`: returns
+/// `(gt, eq)` masks where bit `b` of `gt[i]` means the cell's bucket is
+/// strictly greater than `t` and `eq[i]` means exactly equal.
+///
+/// MSB-first eq-prefix scan: walking rows from the bucket MSB down, `eq`
+/// tracks cells whose bucket agrees with `t` on every bit seen so far;
+/// a 1 where `t` has 0 moves an eq-prefix cell into `gt`, a 0 where `t`
+/// has 1 drops it (it is below `t`, decided). Two ALU ops per row per
+/// lane — well under one op per cell for the full compare.
+#[inline(always)]
+fn cmp_grid<const N: usize, const BITS: usize>(
+    rows: &[u64],
+    j: usize,
+    t: u16,
+) -> ([u64; N], [u64; N]) {
+    let mut gt = [0u64; N];
+    let mut eq = [!0u64; N];
+    for r in 0..BITS {
+        let p: &[u64; N] =
+            rows[r * TILE_WORDS + j..r * TILE_WORDS + j + N].try_into().expect("lane width");
+        if (t >> (BITS - 1 - r)) & 1 == 1 {
+            for i in 0..N {
+                eq[i] &= p[i];
+            }
+        } else {
+            for i in 0..N {
+                gt[i] |= eq[i] & p[i];
+                eq[i] &= !p[i];
+            }
+        }
+    }
+    (gt, eq)
+}
+
+/// Resolves `N` consecutive words: decides retention for their cells by
+/// mask algebra over the tile's bit-planes, samples power-up values for
+/// the lost ones, and returns the retained count. The caller guarantees
+/// all `N` words lie within one tile (`word0 % TILE_WORDS + N <=
+/// TILE_WORDS`).
+///
+/// `N = 4` is the wide path (a 256-bit effective lane per row
+/// operation, unrolled over four `u64`s — portable, no intrinsics);
+/// `N = 1` is the word oracle the wide path is tested against and the
+/// remainder path at array edges.
 #[inline]
-fn resolve_word(
-    old: u64,
-    valid: u64,
-    word: usize,
+fn resolve_chunk<const N: usize>(
+    data: &mut [u64; N],
+    word0: usize,
     planes: &DiePlanes,
     q: &Query<'_>,
-) -> (u64, u32) {
-    let base = word * 64;
+) -> u32 {
+    let tile = planes.tile(word0 / TILE_WORDS);
+    let j = word0 % TILE_WORDS;
+    let valid: [u64; N] = std::array::from_fn(|i| valid_mask(planes.bits, word0 + i));
 
-    // Decay check: stress <= budget.
-    let decay_ok = if q.all_decay_ok {
-        valid
-    } else {
-        let dq = &planes.decay_q[base..base + 64];
-        let mut gt = 0u64;
-        let mut eq = 0u64;
-        for (b, &c) in dq.iter().enumerate() {
-            gt |= ((c > q.stress_q) as u64) << b;
-            eq |= ((c == q.stress_q) as u64) << b;
-        }
-        let mut ok = gt;
-        let mut boundary = eq & valid;
-        while boundary != 0 {
-            let b = boundary.trailing_zeros() as usize;
-            let budget = derive_decay_budget(q.seed, base + b, q.dist);
-            if q.stress <= budget {
-                ok |= 1 << b;
-            } else {
-                ok &= !(1 << b);
-            }
-            boundary &= boundary - 1;
-        }
-        ok & valid
-    };
-
-    // DRV check: min(hold voltage, transient minimum) >= drv.
-    let keep = match q.hold {
-        None => decay_ok,
-        Some(h) if h.all_pass => decay_ok,
-        Some(h) if h.none_pass => 0,
-        Some(h) => {
-            let vq = &planes.drv_q[base..base + 64];
-            let mut lt = 0u64;
-            let mut eq = 0u64;
-            for (b, &c) in vq.iter().enumerate() {
-                lt |= ((c < h.vmin_q) as u64) << b;
-                eq |= ((c == h.vmin_q) as u64) << b;
-            }
-            let mut drv_ok = lt;
-            let mut boundary = eq & decay_ok;
+    // Decay check: stress <= budget. Strict bucket inequality decides;
+    // boundary cells (bucket == stress bucket) re-derive exactly. The
+    // `eq` mask must shed padding cells (their all-zero planes collide
+    // with bucket-0 queries) before the fallback loop.
+    let mut keep = valid;
+    if !q.all_decay_ok {
+        let (gt, eq) = cmp_grid::<N, DECAY_BITS>(&tile[DECAY_ROW0 * TILE_WORDS..], j, q.stress_q);
+        for i in 0..N {
+            let mut ok = gt[i];
+            let mut boundary = eq[i] & valid[i];
             while boundary != 0 {
                 let b = boundary.trailing_zeros() as usize;
-                if h.vmin >= derive_drv(q.seed, base + b, q.dist) {
-                    drv_ok |= 1 << b;
+                let budget = derive_decay_budget(q.seed, (word0 + i) * 64 + b, q.dist);
+                if q.stress <= budget {
+                    ok |= 1 << b;
+                } else {
+                    ok &= !(1u64 << b);
                 }
                 boundary &= boundary - 1;
             }
-            drv_ok & decay_ok
+            keep[i] = ok & valid[i];
         }
-    };
-
-    let lost = valid & !keep;
-    if lost == 0 {
-        return (old, keep.count_ones());
     }
-    let value = powerup_word(lost, word, planes, q.seed, q.dist, q.event_id);
-    ((old & !lost) | value, keep.count_ones())
+
+    // DRV check: min(hold voltage, transient minimum) >= drv, i.e. the
+    // cell's bucket below the query's retains, above loses, equal
+    // re-derives. Only cells that passed the decay check fall back.
+    match q.hold {
+        None => {}
+        Some(h) if h.all_pass => {}
+        Some(h) if h.none_pass => keep = [0; N],
+        Some(h) => {
+            let (gt, eq) = cmp_grid::<N, DRV_BITS>(&tile[DRV_ROW0 * TILE_WORDS..], j, h.vmin_q);
+            for i in 0..N {
+                let mut drv_ok = valid[i] & !gt[i] & !eq[i];
+                let mut boundary = eq[i] & keep[i];
+                while boundary != 0 {
+                    let b = boundary.trailing_zeros() as usize;
+                    if h.vmin >= derive_drv(q.seed, (word0 + i) * 64 + b, q.dist) {
+                        drv_ok |= 1 << b;
+                    }
+                    boundary &= boundary - 1;
+                }
+                keep[i] &= drv_ok;
+            }
+        }
+    }
+
+    let mut retained = 0u32;
+    for i in 0..N {
+        retained += keep[i].count_ones();
+        let lost = valid[i] & !keep[i];
+        if lost != 0 {
+            let strong1 = tile[STRONG1_ROW * TILE_WORDS + j + i];
+            let metastable = tile[META_ROW * TILE_WORDS + j + i];
+            let value = powerup_word(
+                lost,
+                word0 + i,
+                strong1,
+                metastable,
+                planes,
+                q.seed,
+                q.dist,
+                q.ev_base,
+            );
+            data[i] = (data[i] & !lost) | value;
+        }
+    }
+    retained
 }
 
 /// Samples power-up values for the cells of `mask` within `word`:
 /// strong-1 cells read 1, strong-0 cells read 0, metastable cells are
-/// re-sampled per power-on event.
+/// re-sampled per power-on event. The per-event RNG draw is inherently
+/// per-cell; everything around it is mask algebra.
+///
+/// The per-cell draw is integer-only on the common path: the uniform
+/// sample's probability bucket is the random word's top byte (see
+/// [`prob_bucket`] for why that identity is exact), so the f64
+/// conversion and the exact bias derivation run only on the ~1/256
+/// bucket ties. `ev_base` is the hoisted [`crate::rng::event_base`] of
+/// the power-on event.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn powerup_word(
     mask: u64,
     word: usize,
+    strong1: u64,
+    metastable: u64,
     planes: &DiePlanes,
     seed: u64,
     dist: &CellDistribution,
-    event_id: u64,
+    ev_base: u64,
 ) -> u64 {
-    let mut value = planes.strong1[word] & mask;
-    let mut meta = planes.metastable[word] & mask;
+    let mut value = strong1 & mask;
+    let mut meta = metastable & mask;
     while meta != 0 {
         let b = meta.trailing_zeros() as usize;
         let cell = word * 64 + b;
-        let u = unit_f64(event_word(seed, cell, event_id));
-        let uq = prob_bucket(u);
+        let w = event_word_at(ev_base, cell);
+        let uq = (w >> 56) as u8;
         let bq = planes.bias_q[cell];
-        let one = if uq != bq { uq < bq } else { u < derive_powerup(seed, cell, dist).1 };
-        if one {
-            value |= 1 << b;
-        }
+        // The sample outcome is a coin flip — set the bit branchlessly
+        // so it never costs a misprediction. Only the tie test branches,
+        // and it is taken ~1/256 of the time.
+        let one = if uq != bq { uq < bq } else { unit_f64(w) < derive_powerup(seed, cell, dist).1 };
+        value |= u64::from(one) << b;
         meta &= meta - 1;
     }
     value
@@ -500,6 +664,11 @@ fn powerup_word(
 /// Resolves a full power cycle against the planes, writing power-up
 /// samples for lost cells directly into `data`'s words. Returns the
 /// number of retained cells.
+///
+/// `wide` selects the 4-word (256-bit) lane kernel; `false` forces the
+/// single-word oracle everywhere
+/// ([`ResolutionMode::BatchedWord`](crate::ResolutionMode::BatchedWord)).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn resolve(
     data: &mut PackedBits,
     planes: &DiePlanes,
@@ -508,16 +677,24 @@ pub(crate) fn resolve(
     event: OffEvent,
     stress: f64,
     event_id: u64,
+    wide: bool,
 ) -> usize {
-    let q = Query::new(seed, dist, event, stress, event_id);
+    let q = Query::new(seed, dist, event, stress, event_id, planes);
     run_words(data, planes.bits(), |words, word_base| {
         let mut retained = 0usize;
-        for (k, w) in words.iter_mut().enumerate() {
+        let mut k = 0usize;
+        while k < words.len() {
             let word = word_base + k;
-            let valid = valid_mask(planes.bits(), word);
-            let (new, kept) = resolve_word(*w, valid, word, planes, &q);
-            *w = new;
-            retained += kept as usize;
+            let tile_left = TILE_WORDS - word % TILE_WORDS;
+            if wide && words.len() - k >= 4 && tile_left >= 4 {
+                let chunk: &mut [u64; 4] = (&mut words[k..k + 4]).try_into().expect("4-word chunk");
+                retained += resolve_chunk::<4>(chunk, word, planes, &q) as usize;
+                k += 4;
+            } else {
+                let chunk: &mut [u64; 1] = (&mut words[k..k + 1]).try_into().expect("1-word chunk");
+                retained += resolve_chunk::<1>(chunk, word, planes, &q) as usize;
+                k += 1;
+            }
         }
         retained
     })
@@ -533,11 +710,16 @@ pub(crate) fn sample_all(
     dist: &CellDistribution,
     event_id: u64,
 ) {
+    let ev_base = crate::rng::event_base(seed, event_id);
     run_words(data, planes.bits(), |words, word_base| {
         for (k, w) in words.iter_mut().enumerate() {
             let word = word_base + k;
             let valid = valid_mask(planes.bits(), word);
-            *w = powerup_word(valid, word, planes, seed, dist, event_id);
+            let tile = planes.tile(word / TILE_WORDS);
+            let j = word % TILE_WORDS;
+            let strong1 = tile[STRONG1_ROW * TILE_WORDS + j];
+            let metastable = tile[META_ROW * TILE_WORDS + j];
+            *w = powerup_word(valid, word, strong1, metastable, planes, seed, dist, ev_base);
         }
         0usize
     });
@@ -556,21 +738,23 @@ fn valid_mask(bits: usize, word: usize) -> u64 {
 /// The number of workers the batched engine actually uses to resolve an
 /// array of `bits` cells from the calling thread: 1 below the
 /// [`PAR_MIN_BITS`] sharding threshold or under an exhausted
-/// [`par::with_budget`] budget, otherwise the shard count `run_words`
-/// splits the word vector into (which can fall short of the pool size
-/// for short arrays). Bench snapshots report this instead of the raw
-/// pool size so the recorded thread count matches what ran.
+/// [`par::with_budget`] budget, otherwise the tile-aligned shard count
+/// `run_words` splits the word vector into (which can fall short of the
+/// pool size for short arrays). Bench snapshots report this instead of
+/// the raw pool size so the recorded thread count matches what ran.
 pub fn resolution_workers(bits: usize) -> usize {
     let words = bits.div_ceil(64);
     let threads = par::effective_parallelism();
     if bits < PAR_MIN_BITS || threads <= 1 || words <= 1 {
         return 1;
     }
-    words.div_ceil(words.div_ceil(threads))
+    let chunk = words.div_ceil(threads).next_multiple_of(TILE_WORDS);
+    words.div_ceil(chunk)
 }
 
 /// Runs `kernel` over the array's words, sharding across scoped threads
-/// when the array is large enough, and sums the per-shard results.
+/// on tile-aligned boundaries when the array is large enough, and sums
+/// the per-shard results.
 fn run_words<F>(data: &mut PackedBits, bits: usize, kernel: F) -> usize
 where
     F: Fn(&mut [u64], usize) -> usize + Sync,
@@ -580,19 +764,18 @@ where
     if bits < PAR_MIN_BITS || threads <= 1 || words.len() <= 1 {
         return kernel(words, 0);
     }
-    let chunk = words.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    let chunk = words.len().div_ceil(threads).next_multiple_of(TILE_WORDS);
+    std::thread::scope(|s| {
         let kernel = &kernel;
         words
             .chunks_mut(chunk)
             .enumerate()
-            .map(|(i, ws)| s.spawn(move |_| kernel(ws, i * chunk)))
+            .map(|(i, ws)| s.spawn(move || kernel(ws, i * chunk)))
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| h.join().expect("resolution worker panicked"))
             .sum()
     })
-    .expect("resolution scope failed")
 }
 
 #[cfg(test)]
@@ -611,16 +794,59 @@ mod tests {
                 assert!(u > v);
             }
         }
-        assert_eq!(prob_bucket(1.0), 65535);
+        assert_eq!(prob_bucket(1.0), 255);
         assert_eq!(prob_bucket(0.0), 0);
     }
 
     #[test]
-    fn decay_bucket_orders_positive_floats() {
-        let xs = [1e-300, 0.003, 0.5, 1.0, 1.0000001, 17.0, 1e12, f64::INFINITY];
-        for w in xs.windows(2) {
-            assert!(decay_bucket(w[0]) <= decay_bucket(w[1]), "{} vs {}", w[0], w[1]);
+    fn uniform_bucket_is_the_words_top_byte() {
+        // The hot sampler reads `w >> 56` where the quantizer contract
+        // says `prob_bucket(unit_f64(w))`; the two must agree exactly
+        // for every word (the f64 products involved are all exact
+        // power-of-two scalings).
+        for i in 0..200_000u64 {
+            let w = crate::rng::mix64(i);
+            assert_eq!((w >> 56) as u8, prob_bucket(crate::rng::unit_f64(w)));
         }
+        for w in [0u64, 1, u64::MAX, u64::MAX << 11, 0xFF00_0000_0000_0000] {
+            assert_eq!((w >> 56) as u8, prob_bucket(crate::rng::unit_f64(w)));
+        }
+    }
+
+    #[test]
+    fn decay_cuts_are_sorted_and_weakly_monotone() {
+        let cuts = DecayCuts::new(CellDistribution::calibrated().decay_sigma);
+        assert!(cuts.cuts.windows(2).all(|w| w[0] <= w[1]), "cut table must be sorted");
+        // Weak monotonicity and strict-inequality exactness over a
+        // pseudo-random sample of budget-like values.
+        let mut prev_x = 0.0f64;
+        let mut prev_b = cuts.bucket(prev_x);
+        for i in 0..50_000u64 {
+            let x =
+                (0.5 * crate::rng::std_normal(crate::rng::mix64(i), crate::rng::mix64(!i))).exp();
+            let b = cuts.bucket(x);
+            if x >= prev_x {
+                assert!(b >= prev_b || x == prev_x, "bucket must be weakly monotone");
+            }
+            if b > prev_b {
+                assert!(x > prev_x, "strict bucket inequality must decide the comparison");
+            } else if b < prev_b {
+                assert!(x < prev_x);
+            }
+            prev_x = x;
+            prev_b = b;
+        }
+    }
+
+    #[test]
+    fn decay_cuts_survive_degenerate_sigma() {
+        // sigma == 0 collapses every cut to 1.0: bucketing stays sorted
+        // and weakly monotone (everything ties, everything falls back).
+        let cuts = DecayCuts::new(0.0);
+        assert!(cuts.cuts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cuts.bucket(0.5), 0);
+        assert_eq!(cuts.bucket(1.0), DECAY_CUTS as u16);
+        assert_eq!(cuts.bucket(2.0), DECAY_CUTS as u16);
     }
 
     #[test]
@@ -638,6 +864,44 @@ mod tests {
     }
 
     #[test]
+    fn cmp_grid_matches_scalar_comparison() {
+        // Build one tile's worth of synthetic bucket planes and check
+        // the mask-algebra compare against a per-cell reference, at both
+        // lane widths and both grid widths in use.
+        fn check<const BITS: usize>() {
+            let top = (1u16 << BITS) - 1;
+            let mut rows = vec![0u64; BITS * TILE_WORDS];
+            let mut bucket_of = vec![0u16; TILE_CELLS];
+            for (cell, bucket) in bucket_of.iter_mut().enumerate() {
+                // A mix of clustered and spread values, deterministic.
+                let x = crate::rng::mix64(cell as u64 ^ 0xfeed);
+                *bucket = if cell % 3 == 0 { 700 } else { (x as u16) & top };
+                let (j, b) = (cell / 64, cell % 64);
+                for r in 0..BITS {
+                    rows[r * TILE_WORDS + j] |= u64::from((*bucket >> (BITS - 1 - r)) & 1) << b;
+                }
+            }
+            for t in [0u16, 1, 699, 700, 701, top / 2, top - 1, top] {
+                for j in [0usize, 4, 60] {
+                    let (gt4, eq4) = cmp_grid::<4, BITS>(&rows, j, t);
+                    for i in 0..4 {
+                        let (gt1, eq1) = cmp_grid::<1, BITS>(&rows, j + i, t);
+                        assert_eq!(gt1[0], gt4[i], "lane widths must agree (gt)");
+                        assert_eq!(eq1[0], eq4[i], "lane widths must agree (eq)");
+                        for b in 0..64 {
+                            let c = bucket_of[(j + i) * 64 + b];
+                            assert_eq!((gt4[i] >> b) & 1 == 1, c > t, "gt bit, bucket {c} vs {t}");
+                            assert_eq!((eq4[i] >> b) & 1 == 1, c == t, "eq bit, bucket {c} vs {t}");
+                        }
+                    }
+                }
+            }
+        }
+        check::<DECAY_BITS>();
+        check::<DRV_BITS>();
+    }
+
+    #[test]
     fn plane_cache_memoizes_and_evicts() {
         clear_plane_cache();
         let dist = CellDistribution::calibrated();
@@ -650,5 +914,64 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(!c_hit);
         clear_plane_cache();
+    }
+
+    #[test]
+    fn concurrent_planes_for_builds_exactly_once() {
+        // The 4-thread hammer: every thread asks for the same die at
+        // once; the slot design must hand every caller the same Arc and
+        // record exactly one build (no duplicate derivation, no torn
+        // insert-last-wins rebuild).
+        let dist = CellDistribution::calibrated();
+        let seed = 0xA11C_E55E;
+        clear_plane_cache();
+        let results: Vec<(Arc<DiePlanes>, bool)> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| planes_for(seed, 100_000, &dist)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("hammer thread panicked"))
+                .collect()
+        });
+        let builds = results.iter().filter(|(_, cached)| !cached).count();
+        assert_eq!(builds, 1, "exactly one thread derives the die");
+        for (p, _) in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0].0, p), "all callers share one plane set");
+        }
+        clear_plane_cache();
+    }
+
+    #[test]
+    fn planes_for_survives_concurrent_clears() {
+        // Hammer the cache from 4 threads while racing clear_plane_cache:
+        // every returned plane set must still describe the requested die.
+        let dist = CellDistribution::calibrated();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dist = &dist;
+                s.spawn(move || {
+                    for i in 0..20u64 {
+                        let bits = 1024 + 64 * ((t + i) % 3) as usize;
+                        let (p, _) = planes_for(0xC1EA_0000 + (t + i) % 2, bits, dist);
+                        assert_eq!(p.bits(), bits, "planes must match the requested die");
+                        if i % 5 == 0 {
+                            clear_plane_cache();
+                        }
+                    }
+                });
+            }
+        });
+        clear_plane_cache();
+    }
+
+    #[test]
+    fn resolution_workers_is_one_below_threshold() {
+        // Tiny and mid-sized arrays never fan out, at any budget.
+        for bits in [64usize, 4096, 1 << 20, 1 << 21, PAR_MIN_BITS - 1] {
+            assert_eq!(resolution_workers(bits), 1, "{bits} bits must stay single-threaded");
+        }
+        par::with_budget(1, || {
+            assert_eq!(resolution_workers(PAR_MIN_BITS * 4), 1, "budget 1 never fans out");
+        });
     }
 }

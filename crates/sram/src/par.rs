@@ -1,12 +1,12 @@
 //! Minimal deterministic thread-pool helpers.
 //!
 //! The resolution engine and the SoC layer both fan independent work out
-//! across threads. Everything here is built on `crossbeam` scoped
-//! threads (an existing workspace dependency); no work-stealing runtime
-//! is involved, so scheduling never influences results — callers only
-//! hand over work whose output is a pure function of its inputs.
+//! across threads. Everything here is built on `std::thread::scope`; no
+//! work-stealing runtime is involved, so scheduling never influences
+//! results — callers only hand over work whose output is a pure function
+//! of its inputs.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::OnceLock;
 
 /// Number of worker threads used for sharded resolution and fan-out.
@@ -68,6 +68,79 @@ pub fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Buffers a thread's [`RepArena`] freelist retains per element type.
+/// Enough for the deepest consumer (a 15-pass voted readout holds one
+/// word buffer per pass plus the byte scratch); anything beyond the cap
+/// is simply dropped, so a burst can never pin unbounded memory.
+const ARENA_MAX_BUFFERS: usize = 20;
+
+/// Per-thread freelist of reusable scratch buffers — the rep arena.
+///
+/// Repetition workers (campaign reps, voted readout passes) need
+/// short-lived `Vec<u64>` / `Vec<u8>` scratch on every iteration:
+/// readout byte dumps, pass bit-buffers, vote planes. Allocating those
+/// fresh per rep makes a million-rep campaign allocator-bound; the
+/// arena instead keeps each worker thread's retired buffers on a small
+/// freelist, so after the first few reps warm it up the steady state
+/// performs **zero** allocations. The freelist is thread-local — it
+/// composes with [`with_budget`]-scoped fan-out without any locking,
+/// and a worker's buffers die with its thread.
+#[derive(Default)]
+struct RepArena {
+    words: Vec<Vec<u64>>,
+    bytes: Vec<Vec<u8>>,
+}
+
+thread_local! {
+    static ARENA: RefCell<RepArena> = RefCell::new(RepArena::default());
+}
+
+/// Takes a cleared buffer from `pool` with at least `capacity` spare
+/// room, preferring an existing buffer that already fits (so the warm
+/// steady state never grows anything).
+fn arena_take<T>(pool: &mut Vec<Vec<T>>, capacity: usize) -> Vec<T> {
+    let mut v = match pool.iter().rposition(|v| v.capacity() >= capacity) {
+        Some(i) => pool.swap_remove(i),
+        None => pool.pop().unwrap_or_default(),
+    };
+    v.clear();
+    v.reserve(capacity);
+    v
+}
+
+fn arena_give<T>(pool: &mut Vec<Vec<T>>, mut v: Vec<T>) {
+    if v.capacity() > 0 && pool.len() < ARENA_MAX_BUFFERS {
+        v.clear();
+        pool.push(v);
+    }
+}
+
+/// Takes a word buffer (cleared, `capacity >= `the request) from the
+/// calling thread's rep arena, allocating only if the freelist has
+/// nothing big enough. Pair with [`give_words`] when the buffer
+/// retires; an un-returned buffer is an ordinary `Vec` and simply
+/// drops.
+pub fn take_words(capacity: usize) -> Vec<u64> {
+    ARENA.with(|a| arena_take(&mut a.borrow_mut().words, capacity))
+}
+
+/// Returns a retired word buffer to the calling thread's rep arena for
+/// reuse by a later [`take_words`]. Contents are discarded; buffers
+/// beyond the freelist cap are dropped.
+pub fn give_words(v: Vec<u64>) {
+    ARENA.with(|a| arena_give(&mut a.borrow_mut().words, v));
+}
+
+/// Byte-buffer variant of [`take_words`].
+pub fn take_bytes(capacity: usize) -> Vec<u8> {
+    ARENA.with(|a| arena_take(&mut a.borrow_mut().bytes, capacity))
+}
+
+/// Byte-buffer variant of [`give_words`].
+pub fn give_bytes(v: Vec<u8>) {
+    ARENA.with(|a| arena_give(&mut a.borrow_mut().bytes, v));
+}
+
 /// Runs every closure to completion and returns their results in input
 /// order.
 ///
@@ -81,15 +154,14 @@ pub fn join_all<'env, T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>) 
     if jobs.len() <= 1 || effective_parallelism() <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         jobs.into_iter()
-            .map(|job| s.spawn(|_| job()))
+            .map(|job| s.spawn(job))
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| h.join().expect("parallel job panicked"))
             .collect()
     })
-    .expect("parallel scope failed")
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
@@ -100,12 +172,11 @@ pub fn join<A: Send, B: Send>(
     if effective_parallelism() <= 1 {
         return (a(), b());
     }
-    crossbeam::thread::scope(|s| {
-        let hb = s.spawn(|_| b());
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
         let ra = a();
         (ra, hb.join().expect("parallel job panicked"))
     })
-    .expect("parallel scope failed")
 }
 
 #[cfg(test)]
@@ -150,6 +221,47 @@ mod tests {
         });
         assert!(caught.is_err());
         assert_eq!(effective_parallelism(), full);
+    }
+
+    #[test]
+    fn arena_round_trip_reuses_the_allocation() {
+        let mut v = take_words(1000);
+        v.extend(0..100u64);
+        let ptr = v.as_ptr();
+        let cap = v.capacity();
+        give_words(v);
+        let v2 = take_words(500);
+        assert_eq!(v2.as_ptr(), ptr, "a fitting freelist buffer must be reused");
+        assert_eq!(v2.capacity(), cap, "reuse must not reallocate");
+        assert!(v2.is_empty(), "taken buffers come back cleared");
+        give_words(v2);
+
+        let mut b = take_bytes(64);
+        b.push(7);
+        let bptr = b.as_ptr();
+        give_bytes(b);
+        let b2 = take_bytes(10);
+        assert_eq!(b2.as_ptr(), bptr);
+        assert!(b2.is_empty());
+        give_bytes(b2);
+    }
+
+    #[test]
+    fn arena_grows_when_nothing_fits_and_caps_its_freelist() {
+        // A request bigger than anything retired gets a fresh (or grown)
+        // buffer with the requested headroom.
+        give_words(Vec::with_capacity(8));
+        let big = take_words(1 << 16);
+        assert!(big.capacity() >= 1 << 16);
+        give_words(big);
+        // The freelist never retains more than its cap; the overflow is
+        // dropped, not leaked into an unbounded pool.
+        for _ in 0..(2 * ARENA_MAX_BUFFERS) {
+            give_bytes(Vec::with_capacity(16));
+        }
+        ARENA.with(|a| {
+            assert!(a.borrow().bytes.len() <= ARENA_MAX_BUFFERS);
+        });
     }
 
     #[test]

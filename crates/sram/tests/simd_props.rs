@@ -1,0 +1,228 @@
+//! Lane-width equivalence of the bit-sliced resolution kernels.
+//!
+//! The engine resolves power cycles through three interchangeable
+//! implementations: the per-bit scalar reference, the single-word
+//! (64-lane) kernel, and the full-width 4×u64 (256-lane) kernel. Their
+//! contract is bit-for-bit equality — same images, same retention
+//! reports — for every `(seed, distribution, event, stress)`. These
+//! tests pin that three-way equivalence across random dies *and* random
+//! process distributions (engine_props.rs only varies the die seed), and
+//! nail the ragged-tail cases where a lane straddles the array's end.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use voltboot_sram::cell::CellDistribution;
+use voltboot_sram::{ArrayConfig, OffEvent, ResolutionMode, SramArray, Temperature};
+
+const MODES: [ResolutionMode; 3] =
+    [ResolutionMode::Scalar, ResolutionMode::BatchedWord, ResolutionMode::Batched];
+
+/// Random but well-formed process distributions: every field finite,
+/// `drv_min < drv_max`, fractions in range. Spans dies much weaker and
+/// much stronger than the calibrated part, so the quantizer grids are
+/// exercised at many different bucket widths.
+fn distributions() -> impl Strategy<Value = CellDistribution> {
+    (0.0f64..0.8, 0.1f64..0.5, 0.001f64..0.12, 0.0f64..0.12, 0.45f64..0.95, 0.05f64..1.2).prop_map(
+        |(metastable, mean, sigma, min, max, decay)| CellDistribution {
+            metastable_fraction: metastable,
+            drv_mean: mean,
+            drv_sigma: sigma,
+            drv_min: min,
+            drv_max: max,
+            decay_sigma: decay,
+        },
+    )
+}
+
+/// Random off-rail treatments (same span as engine_props.rs).
+fn off_events() -> impl Strategy<Value = OffEvent> {
+    prop_oneof![
+        Just(OffEvent::unpowered()),
+        (0.0f64..1.0).prop_map(OffEvent::held),
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(v, frac)| OffEvent::held_with_droop(v, v * frac)),
+    ]
+}
+
+/// Runs `cycles` identical power cycles on three clones of one die —
+/// scalar, single-word, and 4-word lanes — and asserts every report and
+/// image matches across all three. The first power-on exercises the
+/// pure sampling path; each cycle exercises decay/DRV resolution.
+fn assert_lane_widths_agree(
+    seed: u64,
+    config: &ArrayConfig,
+    fill: u8,
+    event: OffEvent,
+    dt: Duration,
+    celsius: f64,
+    cycles: usize,
+) {
+    let mut arrays: Vec<SramArray> =
+        MODES.iter().map(|_| SramArray::new(config.clone(), seed)).collect();
+    let first: Vec<_> =
+        arrays.iter_mut().zip(MODES).map(|(a, mode)| a.power_on_with(mode).unwrap()).collect();
+    assert_eq!(first[0], first[1], "first power-up: scalar vs word lanes");
+    assert_eq!(first[0], first[2], "first power-up: scalar vs 4-word lanes");
+    let image = arrays[0].snapshot().unwrap();
+    for a in &arrays[1..] {
+        assert_eq!(image, a.snapshot().unwrap(), "first power-up images differ");
+    }
+    for cycle in 0..cycles {
+        for a in &mut arrays {
+            a.fill(fill).unwrap();
+            a.power_off(event).unwrap();
+            a.elapse(dt, Temperature::from_celsius(celsius));
+        }
+        let reports: Vec<_> =
+            arrays.iter_mut().zip(MODES).map(|(a, mode)| a.power_on_with(mode).unwrap()).collect();
+        assert_eq!(
+            reports[0], reports[1],
+            "cycle {cycle}: scalar vs word lanes ({event:?}, {dt:?}, {celsius} C)"
+        );
+        assert_eq!(
+            reports[0], reports[2],
+            "cycle {cycle}: scalar vs 4-word lanes ({event:?}, {dt:?}, {celsius} C)"
+        );
+        let image = arrays[0].snapshot().unwrap();
+        for a in &arrays[1..] {
+            assert_eq!(
+                image,
+                a.snapshot().unwrap(),
+                "cycle {cycle} images differ ({event:?}, {dt:?}, {celsius} C)"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The central three-way equivalence: random seeds, random process
+    /// distributions, random events and stress levels, two cycles each
+    /// (cold planes, then warm planes).
+    #[test]
+    fn lane_widths_agree_across_distributions(
+        seed in any::<u64>(),
+        bits in 1usize..4096,
+        fill in any::<u8>(),
+        dist in distributions(),
+        event in off_events(),
+        dt_ms in 0u64..400,
+        celsius in -120.0f64..30.0,
+    ) {
+        let mut config = ArrayConfig::with_bits("simd-prop", bits);
+        config.distribution = dist;
+        assert_lane_widths_agree(
+            seed,
+            &config,
+            fill,
+            event,
+            Duration::from_millis(dt_ms),
+            celsius,
+            2,
+        );
+    }
+
+    /// Accumulated stress across several unpowered intervals at varying
+    /// temperatures — the decay-cut comparison is driven through many
+    /// different quantized stress values on the same warm planes.
+    #[test]
+    fn lane_widths_agree_under_accumulated_stress(
+        seed in any::<u64>(),
+        bits in 1usize..2048,
+        dt1_ms in 1u64..200,
+        dt2_ms in 1u64..200,
+        c1 in -120.0f64..0.0,
+        c2 in -120.0f64..0.0,
+    ) {
+        let config = ArrayConfig::with_bits("simd-stress", bits);
+        let mut arrays: Vec<SramArray> =
+            MODES.iter().map(|_| SramArray::new(config.clone(), seed)).collect();
+        for (a, mode) in arrays.iter_mut().zip(MODES) {
+            a.power_on_with(mode).unwrap();
+            a.fill(0x6C).unwrap();
+            a.power_off(OffEvent::unpowered()).unwrap();
+            a.elapse(Duration::from_millis(dt1_ms), Temperature::from_celsius(c1));
+            a.elapse(Duration::from_millis(dt2_ms), Temperature::from_celsius(c2));
+        }
+        let reports: Vec<_> = arrays
+            .iter_mut()
+            .zip(MODES)
+            .map(|(a, mode)| a.power_on_with(mode).unwrap())
+            .collect();
+        prop_assert_eq!(&reports[0], &reports[1]);
+        prop_assert_eq!(&reports[0], &reports[2]);
+        let image = arrays[0].snapshot().unwrap();
+        prop_assert_eq!(&image, &arrays[1].snapshot().unwrap());
+        prop_assert_eq!(&image, &arrays[2].snapshot().unwrap());
+    }
+}
+
+/// Ragged tails: lengths that end mid-word (65), one bit short of a
+/// word boundary (255), and one bit past a full 4-word lane (257). The
+/// wide kernel must mask the final partial lane identically to the
+/// scalar path in both the power-up sampling pass (first power-on) and
+/// the decay/DRV resolution pass (lossy cycle).
+#[test]
+fn tail_lanes_are_bit_exact() {
+    for bits in [65usize, 255, 257] {
+        for event in
+            [OffEvent::unpowered(), OffEvent::held(0.25), OffEvent::held_with_droop(0.8, 0.3)]
+        {
+            let config = ArrayConfig::with_bits("tail", bits);
+            assert_lane_widths_agree(
+                0x7A11 ^ bits as u64,
+                &config,
+                0xA5,
+                event,
+                Duration::from_millis(25),
+                -110.0,
+                2,
+            );
+        }
+    }
+}
+
+/// A tail word shared with a *weak* distribution, where nearly every
+/// cell sits inside the DRV grid's interesting range — maximum traffic
+/// through the bucket-equality fallback on the final partial lane.
+#[test]
+fn tail_lanes_survive_weak_distributions() {
+    let mut config = ArrayConfig::with_bits("tail-weak", 257);
+    config.distribution = CellDistribution {
+        metastable_fraction: 0.6,
+        drv_mean: 0.30,
+        drv_sigma: 0.002, // razor-thin: every cell near one bucket edge
+        drv_min: 0.28,
+        drv_max: 0.32,
+        decay_sigma: 0.05,
+    };
+    assert_lane_widths_agree(
+        0xBAD_5EED,
+        &config,
+        0x3C,
+        OffEvent::held_with_droop(0.8, 0.30),
+        Duration::from_millis(10),
+        -60.0,
+        3,
+    );
+}
+
+/// Lane equivalence must hold through the sharded parallel path too:
+/// an array past the threading threshold with a ragged tail, resolved
+/// at every lane width under a forced multi-thread budget.
+#[test]
+fn parallel_tail_lanes_are_bit_exact() {
+    let bits = voltboot_sram::engine::PAR_MIN_BITS + 257;
+    let config = ArrayConfig::with_bits("par-tail", bits);
+    voltboot_sram::par::with_budget(4, || {
+        assert_lane_widths_agree(
+            0x9E37,
+            &config,
+            0xC3,
+            OffEvent::unpowered(),
+            Duration::from_millis(20),
+            -110.0,
+            1,
+        );
+    });
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion`, benchmark
+//! groups, `Bencher::iter`, `BenchmarkId`, `Throughput`) with a plain
+//! wall-clock median timer. There is no statistical analysis, HTML
+//! report, or baseline comparison — each benchmark prints one
+//! `bench <name> ... <median>` line, which is what the CI bench jobs
+//! grep for. Benchmarks still exercise the exact closures they would
+//! under real criterion, so they remain useful smoke tests and coarse
+//! timers in a hermetic build environment with no registry access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to aim for.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for `criterion_group!` compatibility; command-line
+    /// parsing is not implemented, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), self.sample_size, self.measurement_time, None, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.to_string(), self.sample_size, self.measurement_time, None, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// No-op; real criterion prints its closing summary here.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares the work per iteration so throughput can be reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.measurement_time, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.measurement_time, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hands the closure under measurement to the timer.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to the configured number of samples
+    /// within the measurement-time budget (always at least one).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run (fills caches, triggers lazy init).
+        std::hint::black_box(f());
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= self.target_samples || started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b =
+        Bencher { samples: Vec::new(), budget: measurement_time, target_samples: sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {name} ... no samples (closure never called iter)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    match throughput {
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let gib_s = n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+            println!("bench {name} ... {median:?} ({gib_s:.3} GiB/s, {} samples)", b.samples.len());
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let elem_s = n as f64 / median.as_secs_f64();
+            println!(
+                "bench {name} ... {median:?} ({elem_s:.0} elem/s, {} samples)",
+                b.samples.len()
+            );
+        }
+        _ => println!("bench {name} ... {median:?} ({} samples)", b.samples.len()),
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! `proptest!`, `prop_assert*!`, `prop_assume!`, `prop_oneof!`, `any`,
+//! ranges, `Just`, tuples, `collection::vec`, `prop_map` / `prop_filter`
+//! / `prop_recursive`, and `ProptestConfig` — on top of a small
+//! deterministic RNG. There is no shrinking: a failing case panics with
+//! the case number and the per-test seed, which is enough to reproduce
+//! it (generation is a pure function of the test name and case index).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+mod macros;
+
+/// The prelude every property test imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

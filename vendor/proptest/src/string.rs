@@ -1,0 +1,25 @@
+//! String strategies.
+//!
+//! Real proptest interprets a `&str` strategy as a regular expression.
+//! This stand-in ignores the pattern and generates short strings over a
+//! deliberately nasty alphabet (quotes, backslashes, control characters,
+//! multi-byte code points) — a superset of what the workspace's patterns
+//! (`".*"`, `".{0,12}"`) ask for, and exactly the content its JSON
+//! escaping tests want to see.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+const ALPHABET: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', ',', ':', '/', '"', '\\', '\n', '\t',
+    '\r', '\u{0}', '\u{1b}', 'é', 'λ', '\u{7f}', '\u{2028}', '🦀',
+];
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(13) as usize;
+        (0..len).map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize]).collect()
+    }
+}

@@ -1,0 +1,84 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::rng::TestRng;
+
+/// Per-test configuration. Only `cases` is meaningful in this stand-in.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the case (and test) fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// What the body of a `proptest!` case returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `case` until `config.cases` cases have been accepted, panicking
+/// on the first failure. Generation is deterministic per `test_name`.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_name(test_name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = (config.cases as u64).saturating_mul(20).max(1000);
+    while accepted < config.cases {
+        // Snapshot the RNG so a failure report pins down the exact case.
+        let snapshot = rng.clone();
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{test_name}: prop_assume! rejected {rejected} cases \
+                     (accepted only {accepted}/{})",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: case {accepted} failed: {msg}\n\
+                     (deterministic repro: rng state {:#x})",
+                    snapshot.clone().next_u64()
+                );
+            }
+        }
+    }
+}

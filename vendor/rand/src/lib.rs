@@ -1,0 +1,55 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides `rngs::StdRng` with `SeedableRng::seed_from_u64` and
+//! `Rng::random_range` over `u64` ranges — the only rand API this
+//! workspace touches (the OS-noise model in `voltboot`). The generator
+//! is SplitMix64, not ChaCha12, so the concrete noise streams differ
+//! from upstream rand; every consumer treats them as opaque
+//! deterministic noise, and determinism (same seed, same stream) is
+//! fully preserved.
+
+use std::ops::Range;
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value convenience methods.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `range` (modulo-bias-free).
+    fn random_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic seeded generator (SplitMix64 in this stand-in).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes through serde at runtime (all JSON in the repository
+//! is hand-rolled, see `voltboot-telemetry`). This stub keeps the derive
+//! attributes compiling in a hermetic build environment with no registry
+//! access: the traits are markers and the derive macros expand to
+//! nothing, while still accepting the inert `#[serde(...)]` field and
+//! container attributes.
+
+/// Marker counterpart of `serde::Serialize`.
+///
+/// The real trait's methods are never called anywhere in this workspace,
+/// so the stub declares none.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The derives expand to nothing: the workspace only uses serde as an
+//! annotation layer (no runtime serialization goes through it), so an
+//! empty expansion keeps every `#[derive(Serialize, Deserialize)]` and
+//! inert `#[serde(...)]` attribute compiling without the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree).
+
+use proc_macro::TokenStream;
+
+/// Accepts the input item and the inert `#[serde(...)]` helper
+/// attributes, and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// See [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
